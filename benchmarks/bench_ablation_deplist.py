@@ -1,0 +1,72 @@
+"""E7 — §6 future-work ablation: dependency-list size.
+
+"We have not yet investigated the impact of large amount of data
+dependencies on the size of list in arbitrated memory organization and
+this is part of current research."
+
+This ablation performs that investigation on the reproduction: sweep the
+dependency-list capacity from 2 to 32 entries and measure the arbitrated
+wrapper's area and achievable frequency.  Expected outcome: FF cost grows
+linearly (each entry stores an address, counter, and valid bit), LUT cost
+grows with the CAM comparators, and fmax degrades slowly (the CAM match is
+a parallel compare, so only its OR-tree deepens).
+"""
+
+import pytest
+
+from repro.fpga import estimate_area, estimate_timing
+from repro.report import Table
+from repro.rtl import WrapperParams, generate_arbitrated_wrapper
+
+ENTRY_SWEEP = (2, 4, 8, 16, 32)
+CONSUMERS = 4
+
+
+def sweep():
+    rows = []
+    for entries in ENTRY_SWEEP:
+        module = generate_arbitrated_wrapper(
+            WrapperParams(consumers=CONSUMERS, deplist_entries=entries)
+        )
+        area = estimate_area(module)
+        timing = estimate_timing(module)
+        rows.append((entries, area.luts, area.ffs, area.slices,
+                     timing.fmax_mhz))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_deplist_size(benchmark):
+    rows = benchmark(sweep)
+
+    table = Table(
+        f"dependency-list capacity sweep (arbitrated, {CONSUMERS} consumers)",
+        ["entries", "LUT", "FF", "slices", "fmax (MHz)"],
+    )
+    for entries, luts, ffs, slices, fmax in rows:
+        table.add_row(entries, luts, ffs, slices, f"{fmax:.0f}")
+    print()
+    print(table.render())
+
+    entries = [row[0] for row in rows]
+    luts = [row[1] for row in rows]
+    ffs = [row[2] for row in rows]
+    fmax = [row[4] for row in rows]
+
+    # FF growth is linear in entries: address(9) + counter(4) + valid(1).
+    ff_deltas = [
+        (f2 - f1) / (e2 - e1)
+        for (e1, f1), (e2, f2) in zip(zip(entries, ffs), zip(entries[1:], ffs[1:]))
+    ]
+    assert all(delta == ff_deltas[0] for delta in ff_deltas)
+    assert ff_deltas[0] == 14
+
+    # LUTs grow monotonically with CAM size; frequency never improves.
+    assert luts == sorted(luts)
+    assert all(a >= b for a, b in zip(fmax, fmax[1:]))
+
+    # Even a 32-entry list should keep the design above the 125 MHz target.
+    assert fmax[-1] >= 125.0
+
+    benchmark.extra_info["ff per entry"] = 14
+    benchmark.extra_info["fmax at 32 entries"] = round(fmax[-1])

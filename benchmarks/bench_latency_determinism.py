@@ -1,0 +1,82 @@
+"""E5 — §3.1/§3.2 determinism comparison.
+
+"The latency of consumer read accesses once the corresponding producer
+write happens is not deterministic for the arbitrated memory
+organization" — the arbitration "will determine the particular delay once
+the write happens", especially when "more than one producer-consumer pairs
+are mapped to the same BRAM structure".  The event-driven organization
+makes that latency a compile-time constant (the consumer's slot rank).
+
+The bench simulates three producer/consumer pairs sharing one BRAM under
+both organizations and measures every consumer's post-write latency
+distribution.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.net import multi_pair_source
+from repro.report import Table
+from repro.sim.probes import PostWriteLatencyProbe
+
+CYCLES = 3000
+PAIRS = 3
+CONSUMERS_PER_PAIR = 2
+
+
+def run_study():
+    probes = {}
+    for organization in (Organization.ARBITRATED, Organization.EVENT_DRIVEN):
+        design = compile_design(
+            multi_pair_source(PAIRS, CONSUMERS_PER_PAIR),
+            organization=organization,
+        )
+        sim = build_simulation(design)
+        sim.run(CYCLES)
+        probes[organization.value] = PostWriteLatencyProbe(
+            sim.controllers["bram0"]
+        )
+    return probes
+
+
+@pytest.mark.benchmark(group="latency")
+def test_latency_determinism(benchmark):
+    probes = benchmark(run_study)
+
+    table = Table(
+        f"post-write consumer-read latency ({PAIRS} pairs on one BRAM, "
+        f"{CYCLES} cycles)",
+        ["organization", "consumer", "mean", "max", "jitter"],
+    )
+    for org, probe in probes.items():
+        for summary in probe.summaries():
+            table.add_row(
+                org,
+                summary.thread,
+                f"{summary.mean_wait:.2f}",
+                summary.max_wait,
+                f"{summary.jitter:.2f}",
+            )
+    print()
+    print(table.render())
+
+    arbitrated = probes["arbitrated"]
+    event_driven = probes["event_driven"]
+
+    # The §3.2 guarantee: every consumer's post-write latency is fixed.
+    assert event_driven.all_deterministic()
+    assert event_driven.max_jitter() == 0.0
+    # Each consumer reads at exactly its slot rank.
+    for summary in event_driven.summaries():
+        rank = int(summary.thread.split("_")[-1]) + 1
+        assert set(summary.waits) == {rank}
+
+    # The §3.1 observation: arbitration makes the latency variable.
+    assert not arbitrated.all_deterministic()
+    assert arbitrated.max_jitter() > 0.0
+
+    benchmark.extra_info["arbitrated max jitter (cycles)"] = round(
+        arbitrated.max_jitter(), 3
+    )
+    benchmark.extra_info["event_driven max jitter (cycles)"] = 0.0

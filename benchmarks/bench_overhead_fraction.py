@@ -1,0 +1,82 @@
+"""E4 — §4 overhead claim.
+
+"The total amount of area devoted to the core functionality of the IP
+forwarding is about 1000 slices.  Thus depending upon the partitioning
+(of threads) and complexity of the functions the area overhead can vary
+from 5-20%."  The two-port application totalled 5430 slices.
+
+This bench computes the wrapper-slices / core-slices fraction for every
+scenario of both organizations and checks it lands in (or below) the
+paper's band, plus that the whole application still fits the XC2VP20.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import compile_design
+from repro.fpga import XC2VP20, overhead_fraction
+from repro.net import forwarding_source
+from repro.report import Table
+
+from conftest import (
+    PAPER_APP_SLICES,
+    PAPER_CORE_SLICES,
+    PAPER_OVERHEAD_BAND,
+    SCENARIOS,
+)
+
+
+def overheads():
+    results = {}
+    for organization in (Organization.ARBITRATED, Organization.EVENT_DRIVEN):
+        for consumers in SCENARIOS:
+            design = compile_design(
+                forwarding_source(consumers, with_io=False),
+                organization=organization,
+            )
+            report = design.area_report("bram0")
+            results[(organization.value, consumers)] = (
+                report.slices,
+                overhead_fraction(report, PAPER_CORE_SLICES),
+            )
+    return results
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_overhead_fraction(benchmark):
+    results = benchmark(overheads)
+
+    low, high = PAPER_OVERHEAD_BAND
+    table = Table(
+        f"wrapper overhead vs the {PAPER_CORE_SLICES}-slice core function",
+        ["organization", "P/C", "wrapper slices", "overhead", "in 5-20% band"],
+    )
+    for (org, consumers), (slices, fraction) in sorted(results.items()):
+        table.add_row(
+            org,
+            f"1/{consumers}",
+            slices,
+            f"{100 * fraction:.1f}%",
+            "yes" if low <= fraction <= high else "below" if fraction < low
+            else "ABOVE",
+        )
+    print()
+    print(table.render())
+
+    # The arbitrated organization (the paper's Table 1 design) must land in
+    # the band; the event-driven one may be lighter (band or below) but
+    # never above it.
+    for (org, consumers), (__, fraction) in results.items():
+        if org == "arbitrated":
+            assert low <= fraction <= high, (org, consumers, fraction)
+        else:
+            assert fraction <= high, (org, consumers, fraction)
+
+    # The full application still fits the paper's device.
+    worst_wrapper = max(slices for slices, __ in results.values())
+    assert XC2VP20.fits(PAPER_APP_SLICES + worst_wrapper, brams=1)
+    benchmark.extra_info["band"] = "5-20%"
+    benchmark.extra_info["overheads"] = {
+        f"{org} 1/{c}": f"{100 * frac:.1f}%"
+        for (org, c), (__, frac) in sorted(results.items())
+    }

@@ -1,0 +1,56 @@
+"""Harness benchmark: simulation and compilation throughput.
+
+Not a paper experiment — this group tracks the reproduction's own
+performance so regressions in the simulator kernel or the flow driver are
+visible: cycles simulated per second for the 4-consumer forwarding design,
+and full-flow compilation latency.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.net import (
+    BernoulliTraffic,
+    demo_table,
+    forwarding_functions,
+    forwarding_source,
+)
+
+CYCLES = 1000
+
+
+@pytest.fixture(scope="module")
+def forwarding_design():
+    return compile_design(
+        forwarding_source(4), organization=Organization.ARBITRATED
+    )
+
+
+@pytest.mark.benchmark(group="harness")
+def test_simulation_throughput(benchmark, forwarding_design):
+    functions = forwarding_functions(demo_table())
+
+    def run():
+        sim = build_simulation(forwarding_design, functions=functions)
+        generator = BernoulliTraffic(rate=0.06, seed=1)
+        sim.kernel.add_pre_cycle_hook(generator.attach(sim.rx["eth_in"]))
+        sim.run(CYCLES)
+        return sim
+
+    sim = benchmark(run)
+    assert sim.kernel.cycle == CYCLES
+    assert sim.tx["eth_out"].count > 0
+    mean_s = benchmark.stats.stats.mean
+    benchmark.extra_info["cycles_per_second"] = round(CYCLES / mean_s)
+
+
+@pytest.mark.benchmark(group="harness")
+def test_compile_flow_latency(benchmark):
+    source = forwarding_source(8)
+
+    def run():
+        return compile_design(source, organization=Organization.ARBITRATED)
+
+    design = benchmark(run)
+    assert design.area_report("bram0").ffs == 66

@@ -1,0 +1,52 @@
+"""E1 — Table 1: required area for the arbitrated memory organization.
+
+Regenerates the paper's Table 1 rows (P/C = 1/2, 1/4, 1/8; LUT/FF/slices
+per BRAM wrapper) from the generated netlist, and checks the two facts of
+the table that survive in the paper text: the constant 66-FF baseline and
+the LUT-only growth with consumer pseudo-ports.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import compile_design
+from repro.net import forwarding_source
+from repro.report import area_table
+
+from conftest import PAPER_BASELINE_FFS, SCENARIOS
+
+
+def table1_rows():
+    rows = []
+    for consumers in SCENARIOS:
+        design = compile_design(
+            forwarding_source(consumers, with_io=False),
+            organization=Organization.ARBITRATED,
+        )
+        report = design.area_report("bram0")
+        rows.append((f"1/{consumers}", report.luts, report.ffs, report.slices))
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_arbitrated_area(benchmark):
+    rows = benchmark(table1_rows)
+
+    print()
+    print(area_table(
+        "Table 1 — required area, arbitrated memory organization", rows
+    ).render())
+
+    # Paper fact 1: "constant flip-flop count ... 66 flip-flops".
+    ffs = [row[2] for row in rows]
+    assert ffs == [PAPER_BASELINE_FFS] * 3
+
+    # Paper fact 2: pseudo-port muxing adds LUTs (and slices) only.
+    luts = [row[1] for row in rows]
+    slices = [row[3] for row in rows]
+    assert luts[0] < luts[1] < luts[2]
+    assert slices[0] < slices[1] < slices[2]
+
+    for (scenario, lut, ff, slc) in rows:
+        benchmark.extra_info[f"{scenario} LUT/FF/slices"] = f"{lut}/{ff}/{slc}"
+    benchmark.extra_info["paper FF (all rows)"] = PAPER_BASELINE_FFS

@@ -1,0 +1,66 @@
+"""E2 — Table 2: required area for the event-driven statically scheduled
+memory organization.
+
+Regenerates the Table 2 rows from the generated mux/demux + selection
+logic netlist.  The paper's exact cell values did not survive in the
+available text; the checked properties are the structural ones: area grows
+with the slot count, and the organization stays lighter than the
+arbitrated wrapper (no CAM, no arbiters) at every scenario.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import compile_design
+from repro.net import forwarding_source
+from repro.report import area_table
+
+from conftest import SCENARIOS
+
+
+def table2_rows():
+    rows = []
+    for consumers in SCENARIOS:
+        design = compile_design(
+            forwarding_source(consumers, with_io=False),
+            organization=Organization.EVENT_DRIVEN,
+        )
+        report = design.area_report("bram0")
+        rows.append((f"1/{consumers}", report.luts, report.ffs, report.slices))
+    return rows
+
+
+def arbitrated_rows():
+    rows = []
+    for consumers in SCENARIOS:
+        design = compile_design(
+            forwarding_source(consumers, with_io=False),
+            organization=Organization.ARBITRATED,
+        )
+        report = design.area_report("bram0")
+        rows.append((f"1/{consumers}", report.luts, report.ffs, report.slices))
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_eventdriven_area(benchmark):
+    rows = benchmark(table2_rows)
+
+    print()
+    print(area_table(
+        "Table 2 — required area, event-driven statically scheduled "
+        "memory organization",
+        rows,
+    ).render())
+
+    luts = [row[1] for row in rows]
+    slices = [row[3] for row in rows]
+    assert luts[0] < luts[1] < luts[2]
+    assert slices[0] < slices[1] < slices[2]
+
+    for ed_row, arb_row in zip(rows, arbitrated_rows()):
+        assert ed_row[1] < arb_row[1], "event-driven should need fewer LUTs"
+        assert ed_row[2] < arb_row[2], "event-driven should need fewer FFs"
+
+    for (scenario, lut, ff, slc) in rows:
+        benchmark.extra_info[f"{scenario} LUT/FF/slices"] = f"{lut}/{ff}/{slc}"

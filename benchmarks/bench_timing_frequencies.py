@@ -1,0 +1,73 @@
+"""E3 — §4 in-text frequency series.
+
+The paper: against a 125 MHz target, the arbitrated organization achieved
+158 / 130 / ~125 MHz and the event-driven organization 177 / 136 / 129 MHz
+for 2 / 4 / 8 consumers.  This bench regenerates the series from the
+critical paths of the generated wrappers and checks the shape claims:
+monotone decrease with consumers, event-driven ahead everywhere, its
+advantage narrowing, and every point meeting the 125 MHz target.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import compile_design
+from repro.fpga import PAPER_TARGET_MHZ
+from repro.net import forwarding_source
+from repro.report import frequency_table, shape_verdict
+
+from conftest import PAPER_FMAX, SCENARIOS
+
+ORGS = {
+    "arbitrated": Organization.ARBITRATED,
+    "event_driven": Organization.EVENT_DRIVEN,
+}
+
+
+def frequency_series():
+    series = {}
+    for label, organization in ORGS.items():
+        series[label] = [
+            compile_design(
+                forwarding_source(consumers, with_io=False),
+                organization=organization,
+            ).timing_report("bram0").fmax_mhz
+            for consumers in SCENARIOS
+        ]
+    return series
+
+
+@pytest.mark.benchmark(group="timing")
+def test_frequency_series(benchmark):
+    series = benchmark(frequency_series)
+
+    print()
+    for label, values in series.items():
+        rows = [
+            (f"1/{c}", fmax, PAPER_TARGET_MHZ, PAPER_FMAX[label][c])
+            for c, fmax in zip(SCENARIOS, values)
+        ]
+        print(frequency_table(f"achieved frequency — {label}", rows).render())
+        verdict = shape_verdict(
+            [PAPER_FMAX[label][c] for c in SCENARIOS], values
+        )
+        print(f"shape vs paper: {verdict}\n")
+        benchmark.extra_info[f"{label} fmax"] = [round(v) for v in values]
+        benchmark.extra_info[f"{label} paper"] = [
+            PAPER_FMAX[label][c] for c in SCENARIOS
+        ]
+
+        # Shape claims.
+        assert values[0] > values[1] > values[2]
+        assert all(v >= PAPER_TARGET_MHZ for v in values)
+        assert verdict in ("match", "shape-match")
+
+    for arb, ed in zip(series["arbitrated"], series["event_driven"]):
+        assert ed > arb
+    # The event-driven advantage narrows with consumer count (paper:
+    # 1.12x at 2 consumers down to ~1.03x at 8).
+    ratios = [
+        ed / arb
+        for arb, ed in zip(series["arbitrated"], series["event_driven"])
+    ]
+    assert ratios[0] > ratios[-1] > 1.0

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Static deadlock detection (paper §1).
+
+"Deadlocks are identified statically since the user explicitly specifies
+producer(s) and consumer(s)."  This example shows a two-thread program
+where each thread blocks on the other's value before producing its own —
+caught at compile time with an explanatory cycle — and the corrected
+version where each thread produces before it consumes.
+
+Run:  python examples/deadlock_detection.py
+"""
+
+from repro.analysis import check_deadlock
+from repro.flow import compile_design
+from repro.hic import analyze
+
+DEADLOCKED = """
+thread ta () {
+  int pa, va;
+  #producer{db,[tb,pb]}
+  va = f(pb);
+  #consumer{da,[tb,vb]}
+  pa = g(va);
+}
+
+thread tb () {
+  int pb, vb;
+  #producer{da,[ta,pa]}
+  vb = f(pa);
+  #consumer{db,[ta,va]}
+  pb = g(vb);
+}
+"""
+
+FIXED = """
+thread ta () {
+  int pa, va;
+  #consumer{da,[tb,vb]}
+  pa = g(va);
+  #producer{db,[tb,pb]}
+  va = f(pb);
+}
+
+thread tb () {
+  int pb, vb;
+  #consumer{db,[ta,va]}
+  pb = g(vb);
+  #producer{da,[ta,pa]}
+  vb = f(pa);
+}
+"""
+
+
+def main() -> None:
+    print("=== deadlocked program ===")
+    report = check_deadlock(analyze(DEADLOCKED))
+    print(report.explain())
+
+    print("\ncompile_design refuses it:")
+    try:
+        compile_design(DEADLOCKED)
+    except ValueError as error:
+        print(f"  ValueError: {error}")
+
+    print("\n=== corrected program (produce before consume) ===")
+    report = check_deadlock(analyze(FIXED))
+    print(report.explain())
+    design = compile_design(FIXED)
+    print(
+        f"compiles cleanly: {len(design.fsms)} thread FSMs, "
+        f"{design.memory_map.bram_count()} BRAM(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

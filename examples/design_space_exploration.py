@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the organization advisor (paper §4, §6).
+
+The paper "envisage[s] providing the user with access to either of these
+implementations based on design time implementation constraints and
+parameters".  This example:
+
+1. asks the advisor for a recommendation under several constraint sets;
+2. sweeps the dependency-list capacity of the arbitrated wrapper (the §6
+   future-work question: "the impact of large amount of data dependencies
+   on the size of list");
+3. checks which Virtex-II Pro family member each configuration fits with
+   the full 5430-slice forwarding application around it.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.core import DesignConstraints, Organization, recommend
+from repro.flow import compile_design
+from repro.fpga import VIRTEX2PRO_FAMILY, estimate_area, estimate_timing
+from repro.net import APP_TOTAL_SLICES, forwarding_source
+from repro.report import Table
+from repro.rtl import WrapperParams, generate_arbitrated_wrapper
+
+
+def advisor_demo() -> None:
+    print("=== organization advisor ===")
+    cases = {
+        "greenfield design, loose clock": DesignConstraints(timing_slack=1.3),
+        "hard 125 MHz budget, fixed port count": DesignConstraints(
+            timing_slack=0.9, need_deterministic_latency=True
+        ),
+        "product line, consumers added per SKU": DesignConstraints(
+            timing_slack=1.2, expect_new_consumers=True,
+            reuse_bus_style_clients=True,
+        ),
+    }
+    for label, constraints in cases.items():
+        recommendation = recommend(constraints)
+        print(f"\n[{label}]")
+        print(recommendation.explain())
+
+
+def deplist_sweep() -> None:
+    print("\n=== dependency-list capacity sweep (arbitrated, 4 consumers) ===")
+    table = Table(
+        "area/timing vs dependency-list entries",
+        ["entries", "LUT", "FF", "slices", "fmax (MHz)"],
+    )
+    for entries in (2, 4, 8, 16, 32):
+        module = generate_arbitrated_wrapper(
+            WrapperParams(consumers=4, deplist_entries=entries)
+        )
+        area = estimate_area(module)
+        timing = estimate_timing(module)
+        table.add_row(
+            entries, area.luts, area.ffs, area.slices, f"{timing.fmax_mhz:.0f}"
+        )
+    print(table.render())
+
+
+def device_fit() -> None:
+    print("\n=== device fit for the full application ===")
+    design = compile_design(
+        forwarding_source(8, with_io=False),
+        organization=Organization.ARBITRATED,
+    )
+    wrapper_slices = design.area_report("bram0").slices
+    total = APP_TOTAL_SLICES + wrapper_slices
+    table = Table(
+        f"application ({APP_TOTAL_SLICES} slices) + wrapper "
+        f"({wrapper_slices} slices) = {total} slices",
+        ["device", "slices", "fits", "utilization"],
+    )
+    for name, device in sorted(
+        VIRTEX2PRO_FAMILY.items(), key=lambda kv: kv[1].slices
+    ):
+        fits = device.fits(total, brams=design.memory_map.bram_count())
+        table.add_row(
+            name,
+            device.slices,
+            "yes" if fits else "no",
+            f"{100 * total / device.slices:.0f}%",
+        )
+    print(table.render())
+
+
+def main() -> None:
+    advisor_demo()
+    deplist_sweep()
+    device_fit()
+
+
+if __name__ == "__main__":
+    main()

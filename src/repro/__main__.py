@@ -1,0 +1,179 @@
+"""Command-line driver: ``python -m repro <design.hic> [options]``.
+
+Runs the full flow over a hic source file and prints the reports; a small
+stand-in for the front-end tool the paper describes.
+
+Examples::
+
+    python -m repro design.hic
+    python -m repro design.hic --organization event_driven --verilog out.v
+    python -m repro design.hic --simulate 1000 --vcd trace.vcd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.advisor import Organization
+from .flow import build_simulation, compile_design
+from .hic.errors import HicError
+from .sim import ConsumerLatencyProbe, VcdWriter, determinism_report
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Compile a hic design to synchronized FPGA implementation "
+            "estimates (reproduction of Kulkarni & Brebner, DATE 2006)."
+        ),
+    )
+    parser.add_argument("source", help="hic source file")
+    parser.add_argument(
+        "--organization",
+        choices=[org.value for org in Organization],
+        default=Organization.ARBITRATED.value,
+        help="memory organization to generate (default: arbitrated)",
+    )
+    parser.add_argument(
+        "--deplist-entries",
+        type=int,
+        default=4,
+        help="dependency-list capacity of the arbitrated wrapper",
+    )
+    parser.add_argument(
+        "--simulate",
+        type=int,
+        metavar="CYCLES",
+        default=0,
+        help="run the cycle-accurate simulator for CYCLES cycles",
+    )
+    parser.add_argument(
+        "--verilog",
+        metavar="FILE",
+        help="write the generated structural Verilog to FILE",
+    )
+    parser.add_argument(
+        "--thread-verilog",
+        metavar="DIR",
+        help="write behavioral Verilog for each thread FSM into DIR",
+    )
+    parser.add_argument(
+        "--vcd",
+        metavar="FILE",
+        help="write a VCD trace of the simulation to FILE",
+    )
+    parser.add_argument(
+        "--no-deadlock-check",
+        action="store_true",
+        help="skip the static deadlock check",
+    )
+    parser.add_argument(
+        "--infer-pragmas",
+        action="store_true",
+        help=(
+            "derive producer/consumer dependencies from use-def analysis "
+            "instead of requiring explicit pragmas"
+        ),
+    )
+    parser.add_argument(
+        "--allow-offchip",
+        action="store_true",
+        help="spill private data too large for one BRAM to external SRAM",
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the FSM optimization passes before binding",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"error: cannot read {args.source}: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        design = compile_design(
+            source,
+            name=args.source.rsplit("/", 1)[-1].split(".")[0],
+            organization=Organization(args.organization),
+            deplist_entries=args.deplist_entries,
+            check_deadlock=not args.no_deadlock_check,
+            infer_pragmas=args.infer_pragmas,
+            allow_offchip=args.allow_offchip,
+            optimize=args.optimize,
+        )
+    except (HicError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    print(f"design {design.name!r}: {len(design.fsms)} threads, "
+          f"{design.memory_map.bram_count()} BRAM(s), "
+          f"{len(design.checked.dependencies)} dependencies")
+    for bram in design.memory_map.bram_names:
+        area = design.area_report(bram)
+        print(
+            f"  {bram}: LUT={area.luts} FF={area.ffs} slices={area.slices}"
+        )
+        print(f"  {design.timing_report(bram).render()}")
+    utilization = design.utilization()
+    print(utilization.render())
+
+    if args.verilog:
+        with open(args.verilog, "w") as handle:
+            handle.write(design.verilog())
+        print(f"wrote Verilog to {args.verilog}")
+
+    if args.thread_verilog:
+        import os
+
+        os.makedirs(args.thread_verilog, exist_ok=True)
+        for thread_name in design.fsms:
+            path = os.path.join(
+                args.thread_verilog, f"thread_{thread_name}_fsm.v"
+            )
+            with open(path, "w") as handle:
+                handle.write(design.thread_verilog(thread_name))
+        print(
+            f"wrote {len(design.fsms)} thread FSMs to {args.thread_verilog}/"
+        )
+
+    if args.simulate > 0:
+        sim = build_simulation(design)
+        vcd = None
+        if args.vcd:
+            vcd = VcdWriter(timescale="8 ns")
+            for name, executor in sim.executors.items():
+                states = sorted(executor.fsm.states)
+                vcd.add_signal(
+                    f"{name}.state",
+                    max(1, (len(states) - 1).bit_length()),
+                    lambda ex=executor, st=states: st.index(ex.state_name),
+                )
+            sim.kernel.add_post_cycle_hook(vcd.hook)
+        result = sim.run(args.simulate)
+        print(result.describe())
+        for bram, controller in sim.controllers.items():
+            probe = ConsumerLatencyProbe(
+                controller, guarded_ports=("C", "B", "G")
+            )
+            report = determinism_report(probe)
+            if report != "no guarded accesses observed":
+                print(f"{bram} guarded-access latency:")
+                print(report)
+        if vcd is not None and args.vcd:
+            vcd.write(args.vcd)
+            print(f"wrote VCD trace to {args.vcd}")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""The inter-thread dependency graph.
+
+Nodes are threads; a directed edge producer→consumer exists for every
+consumer endpoint of every resolved dependency.  This graph drives the
+static deadlock check, the controller generators (which need the fan-out of
+each producer), and reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hic.pragmas import Dependency
+
+
+@dataclass(frozen=True)
+class DepEdge:
+    """A producer→consumer edge labelled with its dependency."""
+
+    producer: str
+    consumer: str
+    dep_id: str
+    variable: str
+
+
+@dataclass
+class DependencyGraph:
+    """Directed multigraph of inter-thread dependencies."""
+
+    threads: set[str] = field(default_factory=set)
+    edges: list[DepEdge] = field(default_factory=list)
+    dependencies: dict[str, Dependency] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls, dependencies: list[Dependency], all_threads: list[str] | None = None
+    ) -> "DependencyGraph":
+        graph = cls()
+        if all_threads:
+            graph.threads.update(all_threads)
+        for dep in dependencies:
+            graph.dependencies[dep.dep_id] = dep
+            graph.threads.add(dep.producer_thread)
+            for ref in dep.consumers:
+                graph.threads.add(ref.thread)
+                graph.edges.append(
+                    DepEdge(
+                        producer=dep.producer_thread,
+                        consumer=ref.thread,
+                        dep_id=dep.dep_id,
+                        variable=dep.producer_var,
+                    )
+                )
+        return graph
+
+    # -- queries --------------------------------------------------------------------
+
+    def successors(self, thread: str) -> list[str]:
+        """Threads that consume values produced by ``thread``."""
+        seen: list[str] = []
+        for edge in self.edges:
+            if edge.producer == thread and edge.consumer not in seen:
+                seen.append(edge.consumer)
+        return seen
+
+    def predecessors(self, thread: str) -> list[str]:
+        """Threads whose values ``thread`` consumes."""
+        seen: list[str] = []
+        for edge in self.edges:
+            if edge.consumer == thread and edge.producer not in seen:
+                seen.append(edge.producer)
+        return seen
+
+    def produced_by(self, thread: str) -> list[Dependency]:
+        return [
+            dep
+            for dep in self.dependencies.values()
+            if dep.producer_thread == thread
+        ]
+
+    def consumed_by(self, thread: str) -> list[Dependency]:
+        return [
+            dep
+            for dep in self.dependencies.values()
+            if thread in dep.consumer_threads()
+        ]
+
+    def fan_out(self, dep_id: str) -> int:
+        """The dependency number ``dn`` of a dependency."""
+        return self.dependencies[dep_id].dependency_number
+
+    def max_fan_out(self) -> int:
+        if not self.dependencies:
+            return 0
+        return max(dep.dependency_number for dep in self.dependencies.values())
+
+    # -- structure -------------------------------------------------------------------
+
+    def thread_cycles(self) -> list[list[str]]:
+        """Elementary cycles in the thread graph (producer→consumer edges).
+
+        A cycle here is *necessary but not sufficient* for deadlock — the
+        statement-order-aware analysis in :mod:`repro.analysis.deadlock`
+        decides which cycles actually block.
+        """
+        adjacency: dict[str, set[str]] = {t: set() for t in self.threads}
+        for edge in self.edges:
+            adjacency[edge.producer].add(edge.consumer)
+
+        cycles: list[list[str]] = []
+        seen_keys: set[tuple[str, ...]] = set()
+
+        def dfs(start: str, node: str, path: list[str], visited: set[str]) -> None:
+            for nxt in sorted(adjacency[node]):
+                if nxt == start:
+                    # canonicalize rotation for dedup
+                    rotation = min(range(len(path)), key=lambda i: path[i])
+                    key = tuple(path[rotation:] + path[:rotation])
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(list(key))
+                elif nxt not in visited and nxt > start:
+                    visited.add(nxt)
+                    dfs(start, nxt, path + [nxt], visited)
+                    visited.discard(nxt)
+
+        for start in sorted(self.threads):
+            dfs(start, start, [start], {start})
+        return cycles
+
+    def topological_layers(self) -> list[list[str]]:
+        """Threads grouped in dataflow layers (Kahn).  Raises ``ValueError``
+        if the graph has a cycle."""
+        in_degree: dict[str, int] = {t: 0 for t in self.threads}
+        adjacency: dict[str, set[str]] = {t: set() for t in self.threads}
+        for edge in self.edges:
+            if edge.consumer not in adjacency[edge.producer]:
+                adjacency[edge.producer].add(edge.consumer)
+                in_degree[edge.consumer] += 1
+
+        layers: list[list[str]] = []
+        frontier = sorted(t for t, deg in in_degree.items() if deg == 0)
+        remaining = dict(in_degree)
+        placed = 0
+        while frontier:
+            layers.append(frontier)
+            placed += len(frontier)
+            next_frontier: list[str] = []
+            for node in frontier:
+                for nxt in sorted(adjacency[node]):
+                    remaining[nxt] -= 1
+                    if remaining[nxt] == 0:
+                        next_frontier.append(nxt)
+            frontier = sorted(next_frontier)
+        if placed != len(self.threads):
+            raise ValueError("dependency graph has a cycle; no topological order")
+        return layers
+
+    def to_dot(self) -> str:
+        """Graphviz rendering of the dependency graph (for documentation)."""
+        lines = ["digraph dependencies {"]
+        for thread in sorted(self.threads):
+            lines.append(f'  "{thread}";')
+        for edge in self.edges:
+            lines.append(
+                f'  "{edge.producer}" -> "{edge.consumer}" '
+                f'[label="{edge.dep_id}:{edge.variable}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)

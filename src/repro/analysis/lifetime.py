@@ -1,0 +1,163 @@
+"""Variable lifetime analysis and memory-size estimation.
+
+Section 3 of the paper: "the user makes memory allocation decisions based on
+the memory size analysis and a partial order of operations".  This module
+computes, per thread, each variable's live range over the linearized
+statement order, the thread's total storage requirement in bits, and the
+interference relation used to decide which variables could share storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hic import ast
+from ..hic.semantic import CheckedProgram, Symbol, SymbolKind
+from .usedef import ThreadUseDef, analyze_thread
+
+
+@dataclass(frozen=True)
+class LiveRange:
+    """The live range of one variable: [first event, last event] indices in
+    the thread's linear statement order."""
+
+    variable: str
+    start: int
+    end: int
+
+    @property
+    def span(self) -> int:
+        return self.end - self.start + 1
+
+    def overlaps(self, other: "LiveRange") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+@dataclass
+class ThreadLifetimes:
+    """Lifetime facts for one thread."""
+
+    thread_name: str
+    ranges: dict[str, LiveRange]
+
+    def interfering_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of variables whose live ranges overlap (cannot share storage)."""
+        names = sorted(self.ranges)
+        pairs: list[tuple[str, str]] = []
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if self.ranges[a].overlaps(self.ranges[b]):
+                    pairs.append((a, b))
+        return pairs
+
+    def disjoint_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of variables that could share storage."""
+        names = sorted(self.ranges)
+        return [
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+            if not self.ranges[a].overlaps(self.ranges[b])
+        ]
+
+
+def thread_lifetimes(thread: ast.Thread, facts: ThreadUseDef | None = None) -> ThreadLifetimes:
+    """Compute live ranges for every variable touched by a thread.
+
+    A variable's range starts at its first definition (or first use, for
+    variables live on entry such as shared imports) and ends at its last use
+    (or last definition if it is never read — a produced value whose only
+    readers live in other threads stays live to the end of the thread, since
+    consumers may read it at any later time).
+
+    Round-carried variables — used at or before their first definition,
+    like accumulators (``t = t + 1``) and loop counters read in a loop
+    condition — live across the FSM's wrap-around to the next round, so
+    their range conservatively spans the whole body.  This is what makes
+    the range safe as a register-sharing oracle.
+    """
+    if facts is None:
+        facts = analyze_thread(thread)
+    names = facts.all_defs | facts.all_uses
+    last_index = len(facts.statements) - 1 if facts.statements else 0
+    ranges: dict[str, LiveRange] = {}
+    for name in sorted(names):
+        first_def = facts.first_def_index(name)
+        first_use_candidates = [
+            info.index for info in facts.statements if name in info.uses
+        ]
+        first_use = min(first_use_candidates) if first_use_candidates else None
+        last_use = facts.last_use_index(name)
+
+        start_candidates = [x for x in (first_def, first_use) if x is not None]
+        start = min(start_candidates) if start_candidates else 0
+        round_carried = first_use is not None and (
+            first_def is None or first_use <= first_def
+        )
+        if round_carried:
+            # Live across the wrap-around: the whole body.
+            start, end = 0, last_index
+        elif last_use is None:
+            # Written but never read locally: externally consumed, keep live.
+            end = last_index
+        else:
+            end = last_use
+            last_def_indices = [
+                info.index for info in facts.statements if name in info.defs
+            ]
+            if last_def_indices:
+                end = max(end, max(last_def_indices))
+        ranges[name] = LiveRange(name, start, end)
+    return ThreadLifetimes(thread.name, ranges)
+
+
+@dataclass(frozen=True)
+class StorageRequirement:
+    """Storage demanded by one variable of one thread."""
+
+    thread: str
+    variable: str
+    bits: int
+    is_shared_endpoint: bool
+
+    @property
+    def words18k(self) -> float:
+        """Fraction of an 18 Kb BRAM this variable occupies."""
+        return self.bits / (18 * 1024)
+
+
+def storage_requirements(checked: CheckedProgram) -> list[StorageRequirement]:
+    """Memory-size analysis: the bits each declared variable needs.
+
+    Shared imports (``SymbolKind.SHARED``) are excluded — their storage is
+    accounted for once, in the producing thread.
+    """
+    shared = checked.shared_variables()
+    requirements: list[StorageRequirement] = []
+    for thread_name, scope in sorted(checked.scopes.items()):
+        for name, symbol in sorted(scope.symbols.items()):
+            if symbol.kind in (SymbolKind.SHARED, SymbolKind.CONSTANT):
+                continue
+            requirements.append(
+                StorageRequirement(
+                    thread=thread_name,
+                    variable=name,
+                    bits=symbol.storage_bits,
+                    is_shared_endpoint=(thread_name, name) in shared,
+                )
+            )
+    return requirements
+
+
+def total_bits(checked: CheckedProgram) -> int:
+    """Total storage requirement of the whole program, in bits."""
+    return sum(req.bits for req in storage_requirements(checked))
+
+
+def dependency_footprint(checked: CheckedProgram) -> dict[str, int]:
+    """Bits of storage guarded per dependency (the producer variable)."""
+    footprint: dict[str, int] = {}
+    for dep in checked.dependencies:
+        symbol: Symbol = checked.symbol(dep.producer_thread, dep.producer_var)
+        footprint[dep.dep_id] = symbol.storage_bits
+    return footprint

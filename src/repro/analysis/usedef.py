@@ -1,0 +1,289 @@
+"""Use-def analysis over hic threads.
+
+The paper notes (section 2) that the explicit producer/consumer pragmas are
+a convenience, and that "one can use standard compiler use-def analysis and
+other lifetime analysis methods to extract producers and consumers from a
+given specification".  This module provides both:
+
+* per-thread def/use sets for every statement (in a linearized statement
+  order), the substrate for lifetime analysis and the operation order graph;
+* :func:`infer_dependencies`, which derives producer/consumer relationships
+  across threads *without* pragmas, by treating a variable written in exactly
+  one thread and read in others as a shared produced value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hic import ast
+from ..hic.pragmas import ConsumerRef, Dependency
+
+
+@dataclass
+class StatementInfo:
+    """One linearized statement with its definition and use sets.
+
+    Attributes:
+        index: Position in the thread's linear statement order.  Statements
+            inside loops and branches are numbered in source order, which is
+            a valid *partial* order for the analyses in this package (the
+            paper likewise works with a partial order of operations, §3).
+        stmt: The underlying AST statement.
+        defs: Variable names written by the statement.
+        uses: Variable names read by the statement.
+        loop_depth: Nesting depth (used to weight access counts).
+    """
+
+    index: int
+    stmt: ast.Stmt
+    defs: frozenset[str]
+    uses: frozenset[str]
+    loop_depth: int = 0
+
+
+def expression_uses(expr: ast.Expr) -> set[str]:
+    """All root variable names read by an expression."""
+    names: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            names.add(node.ident)
+    return names
+
+
+def target_root(target: ast.LValue) -> str:
+    """The root variable written through an assignment target."""
+    node: ast.Expr = target
+    while isinstance(node, (ast.FieldAccess, ast.Index)):
+        node = node.base
+    assert isinstance(node, ast.Name), "parser guarantees a Name root"
+    return node.ident
+
+
+def target_index_uses(target: ast.LValue) -> set[str]:
+    """Variables *read* while computing an assignment target address
+    (e.g. ``i`` in ``table[i] = v``)."""
+    uses: set[str] = set()
+    node: ast.Expr = target
+    while isinstance(node, (ast.FieldAccess, ast.Index)):
+        if isinstance(node, ast.Index):
+            uses |= expression_uses(node.index)
+        node = node.base
+    return uses
+
+
+class _Linearizer:
+    """Walks a thread body producing :class:`StatementInfo` records."""
+
+    def __init__(self) -> None:
+        self.infos: list[StatementInfo] = []
+        self._depth = 0
+
+    def run(self, block: ast.Block) -> list[StatementInfo]:
+        self._block(block)
+        return self.infos
+
+    def _emit(self, stmt: ast.Stmt, defs: set[str], uses: set[str]) -> None:
+        self.infos.append(
+            StatementInfo(
+                index=len(self.infos),
+                stmt=stmt,
+                defs=frozenset(defs),
+                uses=frozenset(uses),
+                loop_depth=self._depth,
+            )
+        )
+
+    def _block(self, block: ast.Block) -> None:
+        for stmt in block.statements:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            return
+        if isinstance(stmt, ast.Assign):
+            uses = expression_uses(stmt.value) | target_index_uses(stmt.target)
+            root = target_root(stmt.target)
+            if stmt.op != "=" or isinstance(stmt.target, (ast.Index, ast.FieldAccess)):
+                # Compound assignment and partial writes also read the target.
+                uses.add(root)
+            self._emit(stmt, {root}, uses)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit(stmt, set(), expression_uses(stmt.expr))
+        elif isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.If):
+            self._emit(stmt, set(), expression_uses(stmt.cond))
+            self._block(stmt.then_body)
+            if stmt.else_body is not None:
+                self._block(stmt.else_body)
+        elif isinstance(stmt, ast.Case):
+            uses = expression_uses(stmt.selector)
+            for arm in stmt.arms:
+                for value in arm.values:
+                    uses |= expression_uses(value)
+            self._emit(stmt, set(), uses)
+            for arm in stmt.arms:
+                self._block(arm.body)
+            if stmt.default is not None:
+                self._block(stmt.default)
+        elif isinstance(stmt, ast.While):
+            self._emit(stmt, set(), expression_uses(stmt.cond))
+            self._depth += 1
+            self._block(stmt.body)
+            self._depth -= 1
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            uses = expression_uses(stmt.cond) if stmt.cond is not None else set()
+            self._emit(stmt, set(), uses)
+            self._depth += 1
+            self._block(stmt.body)
+            if stmt.step is not None:
+                self._stmt(stmt.step)
+            self._depth -= 1
+        elif isinstance(stmt, ast.Receive):
+            self._emit(stmt, {stmt.target.ident}, set())
+        elif isinstance(stmt, ast.Transmit):
+            self._emit(stmt, set(), expression_uses(stmt.source))
+        elif isinstance(stmt, ast.Return):
+            uses = expression_uses(stmt.value) if stmt.value is not None else set()
+            self._emit(stmt, set(), uses)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            self._emit(stmt, set(), set())
+        else:  # pragma: no cover
+            raise TypeError(f"unsupported statement {type(stmt).__name__}")
+
+
+def linearize(thread: ast.Thread) -> list[StatementInfo]:
+    """Linearize a thread body into statements with def/use sets."""
+    return _Linearizer().run(thread.body)
+
+
+@dataclass
+class ThreadUseDef:
+    """Aggregated use/def facts for one thread."""
+
+    thread_name: str
+    statements: list[StatementInfo] = field(default_factory=list)
+
+    @property
+    def all_defs(self) -> set[str]:
+        defs: set[str] = set()
+        for info in self.statements:
+            defs |= info.defs
+        return defs
+
+    @property
+    def all_uses(self) -> set[str]:
+        uses: set[str] = set()
+        for info in self.statements:
+            uses |= info.uses
+        return uses
+
+    def definitions_of(self, name: str) -> list[StatementInfo]:
+        return [info for info in self.statements if name in info.defs]
+
+    def uses_of(self, name: str) -> list[StatementInfo]:
+        return [info for info in self.statements if name in info.uses]
+
+    def first_def_index(self, name: str) -> int | None:
+        for info in self.statements:
+            if name in info.defs:
+                return info.index
+        return None
+
+    def last_use_index(self, name: str) -> int | None:
+        last: int | None = None
+        for info in self.statements:
+            if name in info.uses:
+                last = info.index
+        return last
+
+    def access_count(self, name: str, loop_weight: int = 4) -> int:
+        """Weighted number of accesses (loop bodies weighted by depth)."""
+        count = 0
+        for info in self.statements:
+            if name in info.defs or name in info.uses:
+                count += loop_weight ** info.loop_depth
+        return count
+
+
+def analyze_thread(thread: ast.Thread) -> ThreadUseDef:
+    """Compute use/def facts for one thread."""
+    return ThreadUseDef(thread.name, linearize(thread))
+
+
+def analyze_program(program: ast.Program) -> dict[str, ThreadUseDef]:
+    """Use/def facts for every thread, keyed by thread name."""
+    return {thread.name: analyze_thread(thread) for thread in program.threads}
+
+
+def use_def_chains(thread: ast.Thread) -> dict[tuple[int, str], list[int]]:
+    """Map each (statement index, used variable) to its possible defining
+    statement indices within the thread.
+
+    A conservative structured-program approximation: every definition whose
+    index precedes the use reaches it, plus — for uses inside loops — any
+    later definition at greater-or-equal loop depth (a back-edge definition).
+    """
+    infos = linearize(thread)
+    chains: dict[tuple[int, str], list[int]] = {}
+    for use_info in infos:
+        for name in use_info.uses:
+            reaching = [
+                def_info.index
+                for def_info in infos
+                if name in def_info.defs
+                and (
+                    def_info.index < use_info.index
+                    or (
+                        use_info.loop_depth > 0
+                        and def_info.loop_depth >= use_info.loop_depth
+                    )
+                )
+            ]
+            chains[(use_info.index, name)] = reaching
+    return chains
+
+
+def infer_dependencies(program: ast.Program) -> list[Dependency]:
+    """Infer producer/consumer dependencies across threads without pragmas.
+
+    A variable that is *written* in exactly one thread and *read* in at least
+    one other thread is treated as a produced shared value; the writers and
+    readers become the producer and consumers respectively.  Dependency ids
+    are synthesized as ``auto_<var>``.
+
+    Variables written in more than one thread are skipped (the paper's model
+    assigns one producer per dependency entry; a multi-producer variable
+    needs one entry per producer, which requires explicit pragmas to
+    disambiguate ordering).
+    """
+    per_thread = analyze_program(program)
+    writers: dict[str, list[str]] = {}
+    readers: dict[str, list[str]] = {}
+    for thread_name, facts in per_thread.items():
+        for name in facts.all_defs:
+            writers.setdefault(name, []).append(thread_name)
+        for name in facts.all_uses:
+            readers.setdefault(name, []).append(thread_name)
+
+    inferred: list[Dependency] = []
+    for name in sorted(writers):
+        writing = writers[name]
+        reading = [t for t in readers.get(name, []) if t not in writing]
+        if len(writing) != 1 or not reading:
+            continue
+        consumers = tuple(
+            ConsumerRef(thread=t, variable=f"{name}@{t}") for t in sorted(reading)
+        )
+        inferred.append(
+            Dependency(
+                dep_id=f"auto_{name}",
+                producer_thread=writing[0],
+                producer_var=name,
+                consumers=consumers,
+            )
+        )
+    return inferred

@@ -1,0 +1,56 @@
+"""The paper's primary contribution: memory-centric synchronization
+controllers for on-chip BRAMs.
+
+* :mod:`~repro.core.arbitrated` — the arbitrated memory organization
+  (§3.1): 4-port wrapper, CAM-matched dependency list, priority D > C > B,
+  round-robin arbitration, blocking guarded accesses;
+* :mod:`~repro.core.event_driven` — the event-driven statically scheduled
+  organization (§3.2): mux/demux network + modulo-scheduling selection
+  logic chaining events through consumers;
+* :mod:`~repro.core.lock_baseline` — the hand-built lock/flag protocol the
+  paper argues against, for measurable comparison;
+* :mod:`~repro.core.advisor` — the §4 design-time organization selector;
+* supporting pieces: round-robin/priority arbiters, the CAM, and the
+  modulo scheduler.
+"""
+
+from .advisor import DesignConstraints, Organization, Recommendation, recommend
+from .arbiter import PriorityArbiter, RoundRobinArbiter
+from .arbitrated import ArbitratedConfig, ArbitratedController
+from .cam import CamEntry, ContentAddressableMemory
+from .controller import (
+    ControllerStats,
+    LatencySample,
+    MemRequest,
+    MemResult,
+    MemoryController,
+)
+from .event_driven import EventDrivenConfig, EventDrivenController
+from .lock_baseline import LockBaselineController, LockStats
+from .modulo import ModuloSchedule, SelectionLogic, Slot, SlotKind
+
+__all__ = [
+    "DesignConstraints",
+    "Organization",
+    "Recommendation",
+    "recommend",
+    "PriorityArbiter",
+    "RoundRobinArbiter",
+    "ArbitratedConfig",
+    "ArbitratedController",
+    "CamEntry",
+    "ContentAddressableMemory",
+    "ControllerStats",
+    "LatencySample",
+    "MemRequest",
+    "MemResult",
+    "MemoryController",
+    "EventDrivenConfig",
+    "EventDrivenController",
+    "LockBaselineController",
+    "LockStats",
+    "ModuloSchedule",
+    "SelectionLogic",
+    "Slot",
+    "SlotKind",
+]

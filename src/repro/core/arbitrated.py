@@ -1,0 +1,163 @@
+"""The arbitrated memory organization (paper §3.1).
+
+The wrapper adds two ports to a BRAM's native dual ports:
+
+* **port A** — direct access to physical port 0 for "all single cycle
+  non-dependent accesses";
+* **port B** — remaining standard port, lowest priority on physical port 1;
+* **port C** — guarded *consumer read* port: a read is granted only when
+  the address's dependency-list entry has outstanding produced data,
+  otherwise it blocks ("treated as a waiting request");
+* **port D** — *producer write* port, highest priority.
+
+Ports B, C, D share physical port 1 with fixed priority D > C > B, and
+multiple thread clients on C (or D) are arbitrated round-robin.  The
+dependency list — CAM-matched {dependency number, base address} entries —
+implements the guard; each producer write arms the entry with ``dn``
+outstanding reads, and the entry disarms when the last consumer has read.
+
+Adding a consumer thread only widens the port-C arbiter and multiplexer
+(no FSM changes) — the scalability property the paper credits to this
+organization, bought with non-deterministic consumer-read latency.
+
+Semantic note (surfaced by property testing, see
+``tests/property/test_prop_controllers.py``): the dependency list counts
+*reads*, not readers, so under skewed consumer timing one consumer can
+legally take two of the ``dn`` read grants of a produce-consume cycle.
+This is faithful to the paper's mechanism; balance relies on the
+consumers' run-to-completion loop structure.  The event-driven
+organization's slot table rules this out structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.bram import BlockRam
+from ..memory.deplist import DependencyList
+from .arbiter import PriorityArbiter, RoundRobinArbiter
+from .cam import ContentAddressableMemory
+from .controller import MemRequest, MemResult, MemoryController
+
+
+@dataclass
+class ArbitratedConfig:
+    """Structural parameters of one arbitrated wrapper (sized at design
+    time; the RTL generator and area model consume this)."""
+
+    consumer_clients: list[str]
+    producer_clients: list[str]
+    address_bits: int = 9
+    data_bits: int = 36
+
+    @property
+    def pseudo_ports(self) -> int:
+        """Pseudo-ports multiplexed onto port C (the paper's scaling knob)."""
+        return len(self.consumer_clients)
+
+
+class ArbitratedController(MemoryController):
+    """Behavioural model of the arbitrated wrapper around one BRAM."""
+
+    def __init__(
+        self,
+        bram: BlockRam,
+        deplist: DependencyList,
+        consumer_clients: list[str],
+        producer_clients: list[str],
+        port_a_clients: list[str] | None = None,
+    ):
+        super().__init__(bram)
+        self.deplist = deplist
+        self.config = ArbitratedConfig(
+            consumer_clients=list(consumer_clients),
+            producer_clients=list(producer_clients),
+            address_bits=deplist.address_bits,
+        )
+        self._arb_c = RoundRobinArbiter(list(consumer_clients) or ["-"])
+        self._arb_d = RoundRobinArbiter(list(producer_clients) or ["-"])
+        self._arb_a = RoundRobinArbiter(
+            list(port_a_clients) if port_a_clients else ["*any*"]
+        )
+        self._priority = PriorityArbiter()
+        # The CAM mirrors the dependency list's guarded addresses.
+        self.cam = ContentAddressableMemory(
+            entries=max(1, len(deplist)), key_bits=deplist.address_bits
+        )
+        for row, entry in enumerate(deplist.entries):
+            self.cam.write(row, entry.base_address, entry.dependency_number)
+        #: cycles in which a blocked port-C read was overridden by port D
+        self.override_count = 0
+
+    # -- policy ---------------------------------------------------------------------
+
+    def _arbitrate_cycle(
+        self, requests: list[MemRequest], cycle: int
+    ) -> dict[str, MemResult]:
+        results: dict[str, MemResult] = {}
+
+        by_port: dict[str, list[MemRequest]] = {"A": [], "B": [], "C": [], "D": []}
+        for request in requests:
+            if request.port not in by_port:
+                raise ValueError(f"unknown wrapper port {request.port!r}")
+            by_port[request.port].append(request)
+
+        # Physical port 0: direct port-A access.  The design-time schedule
+        # should not double-book it; if it does, serve one per cycle.
+        if by_port["A"]:
+            chosen = min(by_port["A"], key=lambda r: r.client)
+            results[chosen.client] = self._perform(chosen)
+
+        # Physical port 1: priority D > C > B among *grantable* requests.
+        d_allowed = [
+            r
+            for r in by_port["D"]
+            if self.deplist.producer_write_allowed(r.address, r.client, r.dep_id)
+        ]
+        c_allowed = [
+            r
+            for r in by_port["C"]
+            if self.deplist.consumer_read_allowed(r.address, r.client, r.dep_id)
+        ]
+        # Port B is only served when ports C and D are idle (no requests at
+        # all, granted or blocked): "as long as there are no current
+        # requests on port C or D".
+        b_allowed = (
+            by_port["B"] if not by_port["C"] and not by_port["D"] else []
+        )
+
+        port_classes: set[str] = set()
+        if d_allowed:
+            port_classes.add("D")
+        if c_allowed:
+            port_classes.add("C")
+        if b_allowed:
+            port_classes.add("B")
+        selected = self._priority.select(port_classes)
+
+        if selected == "D":
+            winner = self._arb_d.grant({r.client for r in d_allowed})
+            request = next(r for r in d_allowed if r.client == winner)
+            results[request.client] = self._perform(request)
+            self.deplist.note_producer_write(request.address, request.client, request.dep_id)
+            if by_port["C"]:
+                # A waiting (blocked) port-C read was overridden (§3.1).
+                self.override_count += 1
+        elif selected == "C":
+            winner = self._arb_c.grant({r.client for r in c_allowed})
+            request = next(r for r in c_allowed if r.client == winner)
+            results[request.client] = self._perform(request)
+            self.deplist.note_consumer_read(request.address, request.client, request.dep_id)
+        elif selected == "B":
+            chosen = min(b_allowed, key=lambda r: r.client)
+            results[chosen.client] = self._perform(chosen)
+
+        return results
+
+    def reset(self) -> None:
+        super().reset()
+        self.deplist.reset()
+        self._arb_c.reset()
+        self._arb_d.reset()
+        self._arb_a.reset()
+        self.override_count = 0

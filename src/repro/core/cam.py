@@ -1,0 +1,84 @@
+"""Content-addressable memory used by the arbitrated wrapper.
+
+Section 3.1: "A content addressable memory (CAM) like structure is used for
+performing comparisons on all the addresses in the dependency list."  This
+is a small fully-parallel CAM: every valid entry's key is compared against
+the search key in one cycle.
+
+The behavioural model below backs the simulator; its dimensions (entries ×
+key width) also size the comparator tree the area model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CamEntry:
+    key: int = 0
+    value: int = 0
+    valid: bool = False
+
+
+@dataclass
+class ContentAddressableMemory:
+    """A fully parallel CAM with ``entries`` rows of ``key_bits`` keys."""
+
+    entries: int
+    key_bits: int
+    rows: list[CamEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("CAM needs at least one entry")
+        if self.key_bits <= 0:
+            raise ValueError("CAM key width must be positive")
+        if not self.rows:
+            self.rows = [CamEntry() for __ in range(self.entries)]
+
+    @property
+    def key_mask(self) -> int:
+        return (1 << self.key_bits) - 1
+
+    def write(self, row: int, key: int, value: int = 0) -> None:
+        """Program one row (configuration-time for the dependency list)."""
+        if not 0 <= row < self.entries:
+            raise IndexError(f"CAM row {row} out of range")
+        self.rows[row] = CamEntry(key=key & self.key_mask, value=value, valid=True)
+
+    def invalidate(self, row: int) -> None:
+        if not 0 <= row < self.entries:
+            raise IndexError(f"CAM row {row} out of range")
+        self.rows[row].valid = False
+
+    def search(self, key: int) -> int | None:
+        """Parallel match: the index of the first valid row whose key
+        equals ``key``, or None (single-cycle in hardware)."""
+        key &= self.key_mask
+        for index, row in enumerate(self.rows):
+            if row.valid and row.key == key:
+                return index
+        return None
+
+    def value_at(self, row: int) -> int:
+        entry = self.rows[row]
+        if not entry.valid:
+            raise ValueError(f"CAM row {row} is not valid")
+        return entry.value
+
+    def occupancy(self) -> int:
+        return sum(1 for row in self.rows if row.valid)
+
+    # -- hardware sizing -----------------------------------------------------------
+
+    @property
+    def comparator_bits(self) -> int:
+        """Total comparator bits (entries × key width): the dominant LUT
+        cost of the CAM."""
+        return self.entries * self.key_bits
+
+    @property
+    def storage_bits(self) -> int:
+        """Flip-flop bits: keys plus valid flags."""
+        return self.entries * (self.key_bits + 1)

@@ -1,0 +1,165 @@
+"""Common interface of the generated memory controllers.
+
+Each BRAM gets a wrapper ("memory organization") that mediates thread
+accesses.  The cycle protocol, shared by all three implementations
+(arbitrated, event-driven, lock baseline):
+
+1. during a cycle, every stalled/issuing thread **submits** its request;
+2. the kernel calls :meth:`MemoryController.arbitrate` once per cycle; the
+   controller applies its policy, performs granted BRAM accesses, and
+   returns per-client results;
+3. threads whose request was granted advance; the rest re-submit next
+   cycle (the hardware equivalent: the request lines stay asserted).
+
+Controllers also record a latency sample per completed request — the raw
+data behind the paper's determinism discussion (§3.1 vs §3.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..memory.bram import BlockRam
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One thread's pending access for the current cycle."""
+
+    client: str
+    port: str
+    address: int
+    write: bool
+    data: int = 0
+    dep_id: Optional[str] = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.client, self.port, self.address, self.write)
+
+
+@dataclass(frozen=True)
+class MemResult:
+    """Outcome of arbitration for one client."""
+
+    granted: bool
+    data: int = 0
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """Completed request with its observed wait."""
+
+    client: str
+    port: str
+    dep_id: Optional[str]
+    issue_cycle: int
+    grant_cycle: int
+
+    @property
+    def wait_cycles(self) -> int:
+        return self.grant_cycle - self.issue_cycle
+
+
+class MemoryController(abc.ABC):
+    """Base class for the per-BRAM memory organizations."""
+
+    def __init__(self, bram: BlockRam):
+        self.bram = bram
+        self._pending: dict[tuple, MemRequest] = {}
+        self._issue_cycle: dict[tuple, int] = {}
+        self.latency_samples: list[LatencySample] = []
+        self.cycle: int = 0
+
+    # -- cycle protocol ------------------------------------------------------------
+
+    def submit(self, request: MemRequest) -> None:
+        """Register a request for this cycle; idempotent across stalls."""
+        self._pending[request.key] = request
+        self._issue_cycle.setdefault(request.key, self.cycle)
+
+    def arbitrate(self, cycle: int) -> dict[str, MemResult]:
+        """Apply the organization's policy for one cycle."""
+        self.cycle = cycle
+        results = self._arbitrate_cycle(list(self._pending.values()), cycle)
+        for key in list(self._pending):
+            request = self._pending[key]
+            result = results.get(request.client)
+            if result is not None and result.granted:
+                self.latency_samples.append(
+                    LatencySample(
+                        client=request.client,
+                        port=request.port,
+                        dep_id=request.dep_id,
+                        issue_cycle=self._issue_cycle.pop(key),
+                        grant_cycle=cycle,
+                    )
+                )
+                del self._pending[key]
+        # Requests not granted remain pending; threads re-submit anyway.
+        self._pending = {}
+        return results
+
+    @abc.abstractmethod
+    def _arbitrate_cycle(
+        self, requests: list[MemRequest], cycle: int
+    ) -> dict[str, MemResult]:
+        """Policy hook: grant a subset of ``requests`` and perform their
+        BRAM accesses."""
+
+    # -- common helpers ------------------------------------------------------------
+
+    def _perform(self, request: MemRequest) -> MemResult:
+        """Execute a granted access against the BRAM."""
+        if request.write:
+            self.bram.write(request.address, request.data, self.cycle, request.port)
+            return MemResult(granted=True)
+        value = self.bram.read(request.address, self.cycle, request.port)
+        return MemResult(granted=True, data=value)
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._issue_cycle.clear()
+        self.latency_samples.clear()
+        self.cycle = 0
+
+    # -- statistics -----------------------------------------------------------------
+
+    def waits_for(
+        self, port: Optional[str] = None, dep_id: Optional[str] = None
+    ) -> list[int]:
+        """Observed wait cycles, optionally filtered by port or dependency."""
+        return [
+            s.wait_cycles
+            for s in self.latency_samples
+            if (port is None or s.port == port)
+            and (dep_id is None or s.dep_id == dep_id)
+        ]
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate latency statistics for reporting."""
+
+    count: int
+    min_wait: int
+    max_wait: int
+    mean_wait: float
+
+    @classmethod
+    def from_waits(cls, waits: list[int]) -> "ControllerStats":
+        if not waits:
+            return cls(0, 0, 0, 0.0)
+        return cls(
+            count=len(waits),
+            min_wait=min(waits),
+            max_wait=max(waits),
+            mean_wait=sum(waits) / len(waits),
+        )
+
+    @property
+    def deterministic(self) -> bool:
+        """All observed waits identical — the §3.2 guarantee."""
+        return self.count == 0 or self.min_wait == self.max_wait

@@ -1,0 +1,117 @@
+"""The event-driven statically scheduled memory organization (paper §3.2).
+
+Port A stays generic; port B sits behind a multiplexer/de-multiplexer
+network whose selection logic modulo-schedules producers, and — once the
+current producer has written — chains an event through that producer's
+consumers in a compile-time-fixed order.  Consumer reads are "initiated
+only when the selection logic generates the corresponding slot number",
+which makes the post-write latency of every consumer deterministic: the
+k-th consumer in the chain reads exactly k cycles after the write.
+
+The price is flexibility: adding a consumer requires regenerating both the
+mux network and the producer/consumer FSMs' event handlers (the paper notes
+FPGA reconfigurability is what makes this practical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hic.pragmas import Dependency
+from ..memory.bram import BlockRam
+from .controller import MemRequest, MemResult, MemoryController
+from .modulo import ModuloSchedule, SelectionLogic, SlotKind
+
+
+@dataclass
+class EventDrivenConfig:
+    """Structural parameters of one event-driven wrapper."""
+
+    schedule: ModuloSchedule
+    address_bits: int = 9
+    data_bits: int = 36
+
+    @property
+    def mux_leaves(self) -> int:
+        """Leaves of the port-B mux/demux network (one per slot client)."""
+        return len(self.schedule)
+
+    @property
+    def select_bits(self) -> int:
+        return self.schedule.select_bits
+
+
+class EventDrivenController(MemoryController):
+    """Behavioural model of the event-driven statically scheduled wrapper."""
+
+    def __init__(
+        self,
+        bram: BlockRam,
+        dependencies: list[Dependency],
+        address_bits: int = 9,
+    ):
+        super().__init__(bram)
+        self.schedule = ModuloSchedule.build(dependencies)
+        self.selection = SelectionLogic(self.schedule)
+        self.config = EventDrivenConfig(
+            schedule=self.schedule, address_bits=address_bits
+        )
+        #: events delivered to consumers: (cycle, dep_id, thread)
+        self.events: list[tuple[int, str, str]] = []
+
+    def _arbitrate_cycle(
+        self, requests: list[MemRequest], cycle: int
+    ) -> dict[str, MemResult]:
+        results: dict[str, MemResult] = {}
+
+        port_a = [r for r in requests if r.port == "A"]
+        guarded = [r for r in requests if r.port in ("B", "C", "D")]
+
+        # Physical port 0: direct generic access.
+        if port_a:
+            chosen = min(port_a, key=lambda r: r.client)
+            results[chosen.client] = self._perform(chosen)
+
+        # Physical port 1: only the thread holding the current slot may
+        # access; everyone else blocks (static schedule).
+        slot = self.selection.current
+        if slot is not None:
+            for request in guarded:
+                if request.dep_id is None:
+                    raise ValueError(
+                        "event-driven wrapper port B requires a dep_id"
+                    )
+                is_producer = request.write
+                if self.selection.enabled(
+                    request.client, request.dep_id, is_producer
+                ):
+                    results[request.client] = self._perform(request)
+                    next_slot = self.selection.advance(cycle)
+                    if (
+                        is_producer
+                        and next_slot is not None
+                        and next_slot.kind is SlotKind.CONSUMER
+                    ):
+                        # The write is the event into the first consumer.
+                        self.events.append(
+                            (cycle, next_slot.dep_id, next_slot.thread)
+                        )
+                    elif not is_producer and next_slot is not None:
+                        if next_slot.kind is SlotKind.CONSUMER:
+                            # Chain the event into the next consumer.
+                            self.events.append(
+                                (cycle, next_slot.dep_id, next_slot.thread)
+                            )
+                    break  # one access per cycle on physical port 1
+
+        return results
+
+    def consumer_latency(self, dep_id: str, thread: str) -> int:
+        """The deterministic post-write read latency of a consumer: its
+        1-based rank in the dependency's consumer chain."""
+        return self.schedule.consumer_rank(dep_id, thread) + 1
+
+    def reset(self) -> None:
+        super().reset()
+        self.selection.reset()
+        self.events.clear()

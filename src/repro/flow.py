@@ -1,0 +1,296 @@
+"""End-to-end design flow: hic source to implementation and simulation.
+
+This is the reproduction of the paper's tool flow (§3): "describing an
+application in hic, from which a RTL HDL description is generated.  This
+RTL code is then fed into standard synthesis, place, and route tools" —
+with our FPGA estimation models standing in for ISE (see DESIGN.md §2).
+
+Typical use::
+
+    from repro.flow import compile_design, build_simulation
+    from repro.core import Organization
+
+    design = compile_design(source, organization=Organization.EVENT_DRIVEN)
+    print(design.area_report("bram0").table_row())
+    print(design.timing_report("bram0").render())
+    verilog_text = design.verilog()
+
+    sim = build_simulation(design)
+    sim.kernel.run(1000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .analysis.deadlock import assert_deadlock_free
+from .analysis.depgraph import DependencyGraph
+from .analysis.memgraph import build_memory_graphs
+from .core.advisor import Organization
+from .core.arbitrated import ArbitratedController
+from .core.controller import MemoryController
+from .core.event_driven import EventDrivenController
+from .core.lock_baseline import LockBaselineController
+from .fpga.area import AreaReport, UtilizationReport, estimate_area, estimate_design
+from .fpga.device import Device, XC2VP20
+from .fpga.timing import TimingReport, estimate_timing
+from .hic.pragmas import Dependency
+from .hic.semantic import CheckedProgram, analyze
+from .memory.allocation import MemoryMap, allocate, dependencies_per_bram
+from .memory.bram import BlockRam
+from .memory.deplist import DependencyList
+from .memory.offchip import OffchipController, OffchipMemory
+from .rtl.generate import (
+    DEFAULT_DEPLIST_ENTRIES,
+    WrapperParams,
+    generate_arbitrated_wrapper,
+    generate_design,
+    generate_event_driven_wrapper,
+    generate_lock_baseline,
+    generate_thread_module,
+)
+from .rtl.netlist import Module
+from .rtl.verilog import emit_verilog
+from .sim.executor import RxInterface, ThreadExecutor, TxInterface
+from .sim.kernel import SimulationKernel
+from .synth.binding import DatapathSummary, bind_program
+from .synth.fsm import ThreadFsm, synthesize_program
+
+#: Port remapping per organization: guarded FSM ports (C/D) are served on
+#: the event-driven wrapper's port B, and on the lock baseline's guarded
+#: ("G") path.
+_PORT_OVERRIDES: dict[Organization, dict[str, str]] = {
+    Organization.ARBITRATED: {},
+    Organization.EVENT_DRIVEN: {"C": "B", "D": "B"},
+    Organization.LOCK_BASELINE: {"C": "G", "D": "G"},
+}
+
+
+@dataclass
+class CompiledDesign:
+    """Everything the flow produced for one hic program."""
+
+    name: str
+    checked: CheckedProgram
+    organization: Organization
+    memory_map: MemoryMap
+    dep_groups: dict[str, list[Dependency]]
+    deplists: dict[str, DependencyList]
+    fsms: dict[str, ThreadFsm]
+    bindings: dict[str, DatapathSummary]
+    wrapper_modules: dict[str, Module]
+    thread_modules: dict[str, Module]
+    top: Module
+
+    # -- reports -------------------------------------------------------------------
+
+    def area_report(self, bram: str) -> AreaReport:
+        """Area of one BRAM's wrapper (a paper-table row)."""
+        return estimate_area(self.wrapper_modules[bram])
+
+    def timing_report(self, bram: str, device: Device = XC2VP20) -> TimingReport:
+        return estimate_timing(self.wrapper_modules[bram], device)
+
+    def utilization(self, device: Device = XC2VP20) -> UtilizationReport:
+        return estimate_design(self.top, device)
+
+    def verilog(self) -> str:
+        return emit_verilog(self.top)
+
+    def thread_verilog(self, thread_name: str) -> str:
+        """Behavioral Verilog of one synthesized thread FSM."""
+        from .rtl.fsm_verilog import emit_thread_verilog
+
+        return emit_thread_verilog(
+            self.fsms[thread_name],
+            banks=self.memory_map.bram_names + self.memory_map.offchip_names,
+            constants=self.checked.constants,
+        )
+
+    def hierarchy(self) -> str:
+        return self.top.hierarchy()
+
+    def dependency_graph(self) -> DependencyGraph:
+        return DependencyGraph.build(
+            self.checked.dependencies, self.checked.program.thread_names()
+        )
+
+
+def _wrapper_params(
+    dependencies: list[Dependency], deplist_entries: int
+) -> WrapperParams:
+    consumers = sum(dep.dependency_number for dep in dependencies)
+    producers = len({dep.producer_thread for dep in dependencies})
+    return WrapperParams(
+        consumers=max(1, consumers),
+        producers=max(1, producers),
+        deplist_entries=max(deplist_entries, len(dependencies)),
+    )
+
+
+def compile_design(
+    source: str,
+    name: str = "design",
+    organization: Organization = Organization.ARBITRATED,
+    force_single_bram: bool = False,
+    deplist_entries: int = DEFAULT_DEPLIST_ENTRIES,
+    check_deadlock: bool = True,
+    infer_pragmas: bool = False,
+    allow_offchip: bool = False,
+    optimize: bool = False,
+) -> CompiledDesign:
+    """Run the full front-end + synthesis + generation flow.
+
+    ``infer_pragmas=True`` derives producer/consumer dependencies from
+    use-def analysis instead of requiring explicit pragmas (paper §2).
+    ``allow_offchip=True`` lets private data too large for one BRAM spill
+    to the modelled external SRAM tier.  ``optimize=True`` runs the FSM
+    optimization passes (dead-state elimination, pass-through collapsing,
+    compute-state packing) on every thread before binding.
+    """
+    checked = analyze(source, infer_pragmas=infer_pragmas)
+    if check_deadlock:
+        assert_deadlock_free(checked)
+
+    # The §2 mapping inputs: the memory access graph guides affinity-aware
+    # BRAM packing (co-locate variables the same threads touch).
+    access_graph, __ = build_memory_graphs(checked)
+    memory_map = allocate(
+        checked,
+        access=access_graph,
+        force_single_bram=force_single_bram,
+        allow_offchip=allow_offchip,
+    )
+    dep_groups = dependencies_per_bram(memory_map, checked.dependencies)
+    deplists = {
+        bram: DependencyList.build(bram, deps, memory_map)
+        for bram, deps in dep_groups.items()
+    }
+
+    fsms = synthesize_program(checked, memory_map)
+    if optimize:
+        from .synth.optimize import optimize_fsm
+
+        for fsm in fsms.values():
+            optimize_fsm(fsm)
+    bindings = bind_program(checked, memory_map, fsms)
+
+    wrapper_modules: dict[str, Module] = {}
+    multi_bram = len(dep_groups) > 1
+    for bram, deps in dep_groups.items():
+        params = _wrapper_params(deps, deplist_entries)
+        suffix = f"_{bram}" if multi_bram else ""
+        if organization is Organization.ARBITRATED:
+            wrapper_modules[bram] = generate_arbitrated_wrapper(params, suffix)
+        elif organization is Organization.EVENT_DRIVEN:
+            wrapper_modules[bram] = generate_event_driven_wrapper(
+                params, deps, suffix
+            )
+        else:
+            wrapper_modules[bram] = generate_lock_baseline(params, suffix)
+
+    thread_modules = {
+        thread: generate_thread_module(fsms[thread], bindings[thread])
+        for thread in fsms
+    }
+    top = generate_design(
+        name, list(wrapper_modules.values()), list(thread_modules.values())
+    )
+
+    return CompiledDesign(
+        name=name,
+        checked=checked,
+        organization=organization,
+        memory_map=memory_map,
+        dep_groups=dep_groups,
+        deplists=deplists,
+        fsms=fsms,
+        bindings=bindings,
+        wrapper_modules=wrapper_modules,
+        thread_modules=thread_modules,
+        top=top,
+    )
+
+
+@dataclass
+class Simulation:
+    """A ready-to-run simulation of a compiled design."""
+
+    design: CompiledDesign
+    kernel: SimulationKernel
+    controllers: dict[str, MemoryController]
+    executors: dict[str, ThreadExecutor]
+    rx: dict[str, RxInterface] = field(default_factory=dict)
+    tx: dict[str, TxInterface] = field(default_factory=dict)
+
+    def run(self, cycles: int, until=None):
+        return self.kernel.run(cycles, until)
+
+    def inject(self, interface: str, message: dict[str, int]) -> None:
+        """Queue a message on an ingress interface."""
+        self.rx[interface].push(message)
+
+
+def build_simulation(
+    design: CompiledDesign,
+    functions: Optional[dict[str, Callable[..., int]]] = None,
+) -> Simulation:
+    """Instantiate controllers, interfaces, and executors for a design."""
+    controllers: dict[str, MemoryController] = {}
+    for bram_name in design.memory_map.bram_names:
+        bram = BlockRam(bram_name)
+        deps = design.dep_groups.get(bram_name, [])
+        deplist = design.deplists[bram_name]
+        if design.organization is Organization.ARBITRATED:
+            consumer_clients = sorted(
+                {t for dep in deps for t in dep.consumer_threads()}
+            )
+            producer_clients = sorted({dep.producer_thread for dep in deps})
+            controllers[bram_name] = ArbitratedController(
+                bram,
+                deplist,
+                consumer_clients or ["-"],
+                producer_clients or ["-"],
+            )
+        elif design.organization is Organization.EVENT_DRIVEN:
+            controllers[bram_name] = EventDrivenController(bram, deps)
+        else:
+            clients = sorted(
+                {dep.producer_thread for dep in deps}
+                | {t for dep in deps for t in dep.consumer_threads()}
+            )
+            controllers[bram_name] = LockBaselineController(
+                bram, deplist, clients or ["-"]
+            )
+
+    for bank in design.memory_map.offchip_names:
+        controllers[bank] = OffchipController(OffchipMemory(bank))
+
+    rx = {name: RxInterface(name) for name in design.checked.interfaces}
+    tx = {name: TxInterface(name) for name in design.checked.interfaces}
+
+    override = _PORT_OVERRIDES[design.organization]
+    executors = {
+        thread: ThreadExecutor(
+            design.checked,
+            design.memory_map,
+            fsm,
+            controllers,
+            functions=functions,
+            rx_interfaces=rx,
+            tx_interfaces=tx,
+            guarded_port_override=override,
+        )
+        for thread, fsm in design.fsms.items()
+    }
+
+    kernel = SimulationKernel(executors, controllers)
+    return Simulation(
+        design=design,
+        kernel=kernel,
+        controllers=controllers,
+        executors=executors,
+        rx=rx,
+        tx=tx,
+    )

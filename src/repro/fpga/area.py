@@ -1,0 +1,105 @@
+"""Area estimation from generated netlists.
+
+Sums macro-primitive costs over a module hierarchy and packs them into
+Virtex-II Pro slices.  This is the reproduction's substitute for ISE map
+results: the LUT/FF columns of the paper's Tables 1 and 2 come from
+exactly this walk over the generated wrapper structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rtl.netlist import Module
+from .device import Device, XC2VP20
+from .packing import DEFAULT_EFFICIENCY, SliceCount, pack
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area of one module (hierarchy included)."""
+
+    module: str
+    luts: int
+    ffs: int
+    brams: int
+    slices: int
+
+    def table_row(self) -> tuple[int, int, int]:
+        """(LUT, FF, Slices) in the paper's table column order."""
+        return (self.luts, self.ffs, self.slices)
+
+
+@dataclass
+class UtilizationReport:
+    """Device-level utilization of a full design."""
+
+    device: Device
+    total: AreaReport
+    per_module: list[AreaReport] = field(default_factory=list)
+
+    @property
+    def slice_utilization(self) -> float:
+        return self.total.slices / self.device.slices
+
+    @property
+    def bram_utilization(self) -> float:
+        if self.device.bram_blocks == 0:
+            return 0.0
+        return self.total.brams / self.device.bram_blocks
+
+    @property
+    def fits(self) -> bool:
+        return self.device.fits(self.total.slices, self.total.brams)
+
+    def render(self) -> str:
+        lines = [
+            f"device {self.device.name}: "
+            f"{self.total.slices}/{self.device.slices} slices "
+            f"({100 * self.slice_utilization:.1f}%), "
+            f"{self.total.brams}/{self.device.bram_blocks} BRAMs"
+        ]
+        for report in self.per_module:
+            lines.append(
+                f"  {report.module:<32} LUT={report.luts:<5} FF={report.ffs:<5}"
+                f" slices={report.slices}"
+            )
+        return "\n".join(lines)
+
+
+def estimate_area(
+    module: Module, efficiency: float = DEFAULT_EFFICIENCY
+) -> AreaReport:
+    """Estimate one module's area (its whole hierarchy)."""
+    luts = module.total_luts()
+    ffs = module.total_ffs()
+    packed: SliceCount = pack(luts, ffs, efficiency)
+    return AreaReport(
+        module=module.name,
+        luts=luts,
+        ffs=ffs,
+        brams=module.total_brams(),
+        slices=packed.slices,
+    )
+
+
+def estimate_design(
+    top: Module,
+    device: Device = XC2VP20,
+    efficiency: float = DEFAULT_EFFICIENCY,
+) -> UtilizationReport:
+    """Estimate a top-level design against a device."""
+    per_module = []
+    for instance in top.instances:
+        if isinstance(instance.component, Module):
+            per_module.append(estimate_area(instance.component, efficiency))
+    total = estimate_area(top, efficiency)
+    return UtilizationReport(device=device, total=total, per_module=per_module)
+
+
+def overhead_fraction(wrapper: AreaReport, core_slices: int) -> float:
+    """The §4 overhead metric: wrapper slices as a fraction of the
+    application's core-function slices (~1000 for the IP forwarder)."""
+    if core_slices <= 0:
+        raise ValueError("core slice count must be positive")
+    return wrapper.slices / core_slices

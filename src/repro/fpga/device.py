@@ -1,0 +1,84 @@
+"""Virtex-II Pro device models.
+
+The paper's evaluation targets a Xilinx XC2VP20 with ISE 6.3 SP3.  This
+module provides the family's resource tables and the fabric timing
+constants used by the estimation models.  Slice/BRAM counts follow the
+Virtex-II Pro data sheet; the delay constants are -6 speed-grade-class
+*model* values chosen once for the whole reproduction (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FabricTiming:
+    """Fabric delay constants, in nanoseconds."""
+
+    #: Register clock-to-out plus downstream setup (one FF-to-FF overhead).
+    clk_to_q_plus_setup: float = 1.6
+    #: One LUT level including its average local routing.
+    per_logic_level: float = 0.42
+    #: Extra setup into a BRAM address/write port.
+    bram_setup: float = 0.0
+
+    def period_ns(self, logic_levels: int) -> float:
+        return (
+            self.clk_to_q_plus_setup
+            + self.bram_setup
+            + logic_levels * self.per_logic_level
+        )
+
+    def fmax_mhz(self, logic_levels: int) -> float:
+        return 1000.0 / self.period_ns(logic_levels)
+
+
+@dataclass(frozen=True)
+class Device:
+    """One Virtex-II Pro family member."""
+
+    name: str
+    slices: int
+    bram_blocks: int
+    multipliers: int
+    ppc_cores: int
+    timing: FabricTiming = FabricTiming()
+
+    @property
+    def luts(self) -> int:
+        return self.slices * 2
+
+    @property
+    def ffs(self) -> int:
+        return self.slices * 2
+
+    def fits(self, slices: int, brams: int = 0) -> bool:
+        return slices <= self.slices and brams <= self.bram_blocks
+
+
+#: Virtex-II Pro family table (data-sheet resource counts).
+VIRTEX2PRO_FAMILY: dict[str, Device] = {
+    device.name: device
+    for device in (
+        Device("XC2VP2", slices=1408, bram_blocks=12, multipliers=12, ppc_cores=0),
+        Device("XC2VP4", slices=3008, bram_blocks=28, multipliers=28, ppc_cores=1),
+        Device("XC2VP7", slices=4928, bram_blocks=44, multipliers=44, ppc_cores=1),
+        Device("XC2VP20", slices=9280, bram_blocks=88, multipliers=88, ppc_cores=2),
+        Device("XC2VP30", slices=13696, bram_blocks=136, multipliers=136, ppc_cores=2),
+        Device("XC2VP50", slices=23616, bram_blocks=232, multipliers=232, ppc_cores=2),
+    )
+}
+
+#: The paper's target part.
+XC2VP20 = VIRTEX2PRO_FAMILY["XC2VP20"]
+
+
+def device(name: str) -> Device:
+    """Look up a family member by part name."""
+    if name not in VIRTEX2PRO_FAMILY:
+        raise KeyError(
+            f"unknown Virtex-II Pro part {name!r}; "
+            f"known: {sorted(VIRTEX2PRO_FAMILY)}"
+        )
+    return VIRTEX2PRO_FAMILY[name]

@@ -1,0 +1,76 @@
+"""Timing estimation: critical path to achievable clock frequency.
+
+Each generated module documents its critical paths as LUT-level counts
+(:meth:`repro.rtl.netlist.Module.note_path`); this module converts the
+worst one into a period/fmax with the device's fabric constants and checks
+it against a target clock — reproducing the §4 experiment where each
+configuration was placed and routed against a 125 MHz target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rtl.netlist import Module
+from .device import Device, XC2VP20
+
+#: The paper's target clock rate for every scenario (§4).
+PAPER_TARGET_MHZ = 125.0
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of timing estimation for one module."""
+
+    module: str
+    critical_path: str
+    logic_levels: int
+    period_ns: float
+    fmax_mhz: float
+    target_mhz: float
+
+    @property
+    def meets_target(self) -> bool:
+        return self.fmax_mhz >= self.target_mhz
+
+    @property
+    def slack_ns(self) -> float:
+        """Positive slack means the target period has margin."""
+        return (1000.0 / self.target_mhz) - self.period_ns
+
+    def render(self) -> str:
+        status = "MET" if self.meets_target else "FAILED"
+        return (
+            f"{self.module}: {self.fmax_mhz:.0f} MHz "
+            f"(period {self.period_ns:.2f} ns, {self.logic_levels} levels "
+            f"on {self.critical_path}); target {self.target_mhz:.0f} MHz "
+            f"{status} (slack {self.slack_ns:+.2f} ns)"
+        )
+
+
+def estimate_timing(
+    module: Module,
+    device: Device = XC2VP20,
+    target_mhz: float = PAPER_TARGET_MHZ,
+) -> TimingReport:
+    """Estimate the achievable frequency of a module hierarchy."""
+    path_name, levels = module.worst_path()
+    period = device.timing.period_ns(levels)
+    return TimingReport(
+        module=module.name,
+        critical_path=path_name,
+        logic_levels=levels,
+        period_ns=period,
+        fmax_mhz=1000.0 / period,
+        target_mhz=target_mhz,
+    )
+
+
+def compare_organizations(
+    arbitrated: Module, event_driven: Module, device: Device = XC2VP20
+) -> dict[str, TimingReport]:
+    """Timing of both organizations for the same scenario (E3)."""
+    return {
+        "arbitrated": estimate_timing(arbitrated, device),
+        "event_driven": estimate_timing(event_driven, device),
+    }

@@ -1,0 +1,469 @@
+"""Abstract syntax tree for hic programs.
+
+The AST mirrors the language sketch in section 2 of the paper: a program is a
+set of ``thread`` definitions plus top-level type declarations and pragmas.
+Each thread body contains variable declarations and structured statements
+(assignments, ``if``, ``case`` state machines, ``for``/``while`` loops).
+
+Producer/consumer pragmas attach to the assignment that immediately follows
+them, exactly as in the Figure 1 example of the paper, where
+``#consumer{mt1,[t2,y1],[t3,z1]}`` annotates the write ``x1 = f(xtmp, x2);``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from .errors import SourceLocation
+from .types import HicType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    location: SourceLocation
+
+    def children(self) -> Iterator["Node"]:
+        """Iterate direct child nodes (used by generic walkers)."""
+        return iter(())
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Depth-first pre-order traversal of an AST subtree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class CharLiteral(Expr):
+    value: int
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class Name(Expr):
+    """Reference to a declared variable or constant."""
+
+    ident: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``base.field`` — access to a field of a ``message`` value."""
+
+    base: Expr
+    field_name: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.base
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` — element access into an array variable."""
+
+    base: Expr
+    index: Expr
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.base
+        yield self.index
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operation: one of ``- ! ~``."""
+
+    op: str
+    operand: Expr
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operation (arithmetic, comparison, logic, shifts)."""
+
+    op: str
+    left: Expr
+    right: Expr
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary ``cond ? a : b``."""
+
+    cond: Expr
+    then_value: Expr
+    else_value: Expr
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.then_value
+        yield self.else_value
+
+
+@dataclass
+class Call(Expr):
+    """A call to a combinational function, e.g. ``f(xtmp, x2)``.
+
+    hic functions denote combinational logic blocks (the paper's ``f``, ``g``,
+    ``h``); they have no side effects on memory.
+    """
+
+    callee: str
+    args: list[Expr]
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.args
+
+
+#: Valid assignment targets.
+LValue = Union[Name, FieldAccess, Index]
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DependencyLink:
+    """One ``[thread, variable]`` pair inside a producer/consumer pragma."""
+
+    thread: str
+    variable: str
+
+
+@dataclass
+class ProducerPragma(Node):
+    """``#producer{dep_id, [thread, var], ...}`` — names the *producer(s)* of
+    the value consumed by the annotated statement (placed in consumer threads).
+    """
+
+    dep_id: str
+    links: list[DependencyLink]
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class ConsumerPragma(Node):
+    """``#consumer{dep_id, [thread, var], ...}`` — names the *consumer(s)* of
+    the value produced by the annotated statement (placed in producer threads).
+    """
+
+    dep_id: str
+    links: list[DependencyLink]
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class InterfacePragma(Node):
+    """``#interface{name, kind}`` — declares a network interface
+    (e.g. ``#interface{eth0, gige}``)."""
+
+    name: str
+    kind: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class ConstantPragma(Node):
+    """``#constant{name, value}`` — a design-time constant (e.g. host address)."""
+
+    name: str
+    value: int
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+DependencyPragma = Union[ProducerPragma, ConsumerPragma]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``int x1, xtmp, table[8];`` — declaration of one or more variables.
+
+    ``sizes`` parallels ``names``: entry > 0 declares an array of that many
+    elements (arrays are what actually occupy BRAM space); 0 is a scalar.
+    """
+
+    names: list[str]
+    var_type: HicType
+    sizes: list[int] = field(default_factory=list)
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            self.sizes = [0] * len(self.names)
+        if len(self.sizes) != len(self.names):
+            raise ValueError("VarDecl sizes must parallel names")
+
+    def declarators(self) -> list[tuple[str, int]]:
+        """``(name, array_size)`` pairs, array_size 0 for scalars."""
+        return list(zip(self.names, self.sizes))
+
+
+@dataclass
+class Assign(Stmt):
+    """``target op= value;`` with optional attached dependency pragmas."""
+
+    target: LValue
+    value: Expr
+    op: str = "="
+    pragmas: list[DependencyPragma] = field(default_factory=list)
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        yield self.value
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect (a bare call)."""
+
+    expr: Expr
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.expr
+
+
+@dataclass
+class Block(Stmt):
+    """``{ ... }`` — a statement sequence."""
+
+    statements: list[Stmt] = field(default_factory=list)
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.statements
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: Block
+    else_body: Optional[Block] = None
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.then_body
+        if self.else_body is not None:
+            yield self.else_body
+
+
+@dataclass
+class CaseArm(Node):
+    """One arm of a ``case`` statement: ``of <values>: { ... }``."""
+
+    values: list[Expr]
+    body: Block
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.values
+        yield self.body
+
+
+@dataclass
+class Case(Stmt):
+    """``case (selector) { of v: {...} ... default: {...} }``.
+
+    The paper calls these "state machines (case statements)"; a case over a
+    state variable inside a loop is the idiomatic hic FSM.
+    """
+
+    selector: Expr
+    arms: list[CaseArm]
+    default: Optional[Block] = None
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.selector
+        yield from self.arms
+        if self.default is not None:
+            yield self.default
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.body
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) { ... }`` with assignment init/step."""
+
+    init: Optional[Assign]
+    cond: Optional[Expr]
+    step: Optional[Assign]
+    body: Block = field(default_factory=Block)
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+        if self.cond is not None:
+            yield self.cond
+        if self.step is not None:
+            yield self.step
+        yield self.body
+
+
+@dataclass
+class Receive(Stmt):
+    """``receive(msg, interface);`` — blocking read of the next message."""
+
+    target: Name
+    interface: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+
+
+@dataclass
+class Transmit(Stmt):
+    """``transmit(msg, interface);`` — emit a message on an interface."""
+
+    source: Expr
+    interface: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.source
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        if self.value is not None:
+            yield self.value
+
+
+@dataclass
+class Break(Stmt):
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class Continue(Stmt):
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Thread(Node):
+    """A hic thread: synthesized into a hardware FSM ("thread means a
+    hardware thread, that is, each thread is synthesized into logic")."""
+
+    name: str
+    params: list[str]
+    body: Block
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield self.body
+
+    def declarations(self) -> list[VarDecl]:
+        """All variable declarations anywhere in the thread body."""
+        return [node for node in walk(self.body) if isinstance(node, VarDecl)]
+
+    def statements(self) -> list[Stmt]:
+        """Top-level statements of the thread body (excluding declarations)."""
+        return [
+            stmt for stmt in self.body.statements if not isinstance(stmt, VarDecl)
+        ]
+
+
+@dataclass
+class Program(Node):
+    """A complete hic program."""
+
+    threads: list[Thread] = field(default_factory=list)
+    interfaces: list[InterfacePragma] = field(default_factory=list)
+    constants: list[ConstantPragma] = field(default_factory=list)
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.threads
+
+    def thread(self, name: str) -> Thread:
+        """Look up a thread by name."""
+        for thread in self.threads:
+            if thread.name == name:
+                return thread
+        raise KeyError(f"no thread named {name!r}")
+
+    def thread_names(self) -> list[str]:
+        return [thread.name for thread in self.threads]
+
+
+def dependency_pragmas(program: Program) -> list[tuple[Thread, Assign, DependencyPragma]]:
+    """Collect every producer/consumer pragma with its thread and statement."""
+    found: list[tuple[Thread, Assign, DependencyPragma]] = []
+    for thread in program.threads:
+        for node in walk(thread.body):
+            if isinstance(node, Assign):
+                for pragma in node.pragmas:
+                    found.append((thread, node, pragma))
+    return found

@@ -1,0 +1,274 @@
+"""Tokenizer for the hic concurrent language.
+
+The paper (section 2) describes hic as a concurrent asynchronous language for
+networking applications: threads, a logical global shared memory of
+``message`` values, integer/character/user-defined variable types, the usual
+structured statements (if, case, for, while), and four pragmas
+(``#interface``, ``#constant``, ``#producer``, ``#consumer``).
+
+The lexer is a straightforward longest-match scanner.  Pragmas are tokenized
+as ordinary punctuation (``#`` HASH followed by an identifier and a braced
+argument list) so that the parser can treat them uniformly with statements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import HicSyntaxError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of hic tokens."""
+
+    IDENT = "ident"
+    INT = "int-literal"
+    CHAR = "char-literal"
+    STRING = "string-literal"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    HASH = "hash"
+    EOF = "eof"
+
+
+#: Reserved words of the language.  ``message`` is the pre-defined shared
+#: memory data type of section 2; ``receive``/``transmit`` are the network
+#: interface operations performed by I/O threads.
+KEYWORDS = frozenset(
+    {
+        "thread",
+        "int",
+        "char",
+        "message",
+        "type",
+        "union",
+        "if",
+        "else",
+        "case",
+        "of",
+        "default",
+        "for",
+        "while",
+        "return",
+        "break",
+        "continue",
+        "receive",
+        "transmit",
+        "true",
+        "false",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_PUNCT3 = ("<<=", ">>=")
+_PUNCT2 = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "->",
+)
+_PUNCT1 = "+-*/%<>=!&|^~(){}[],;:.?"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source location."""
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    @property
+    def int_value(self) -> int:
+        """Integer value of an INT token (supports 0x/0b/0o prefixes)."""
+        if self.kind is not TokenKind.INT:
+            raise ValueError(f"not an integer token: {self!r}")
+        return int(self.text, 0)
+
+    @property
+    def char_value(self) -> int:
+        """Ordinal value of a CHAR token."""
+        if self.kind is not TokenKind.CHAR:
+            raise ValueError(f"not a char token: {self!r}")
+        body = self.text[1:-1]
+        if body.startswith("\\"):
+            return ord(_ESCAPES[body[1]])
+        return ord(body)
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})"
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+
+class Lexer:
+    """Scans hic source text into a token stream.
+
+    Usage::
+
+        tokens = list(Lexer(source).tokens())
+    """
+
+    def __init__(self, source: str, filename: str = "<hic>"):
+        self._source = source
+        self._filename = filename
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    # -- low-level cursor helpers -------------------------------------------------
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self._line, self._col, self._filename)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos : self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += count
+        return text
+
+    # -- skipping -----------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Consume whitespace and ``//`` / ``/* */`` comments."""
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if not self._peek():
+                        raise HicSyntaxError("unterminated block comment", start)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    # -- scanning -----------------------------------------------------------------
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source, ending with a single EOF token."""
+        while True:
+            self._skip_trivia()
+            location = self._location()
+            ch = self._peek()
+            if not ch:
+                yield Token(TokenKind.EOF, "", location)
+                return
+            if ch.isalpha() or ch == "_":
+                yield self._scan_word(location)
+            elif ch.isdigit():
+                yield self._scan_number(location)
+            elif ch == "'":
+                yield self._scan_char(location)
+            elif ch == '"':
+                yield self._scan_string(location)
+            elif ch == "#":
+                self._advance()
+                yield Token(TokenKind.HASH, "#", location)
+            else:
+                yield self._scan_punct(location)
+
+    def _scan_word(self, location: SourceLocation) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self._source[start : self._pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, location)
+
+    def _scan_number(self, location: SourceLocation) -> Token:
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) in "xXbBoO":
+            self._advance(2)
+            while self._peek().isalnum():
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+        text = self._source[start : self._pos]
+        try:
+            int(text, 0)
+        except ValueError:
+            raise HicSyntaxError(f"malformed integer literal {text!r}", location)
+        return Token(TokenKind.INT, text, location)
+
+    def _scan_char(self, location: SourceLocation) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            self._advance()
+            if self._peek() not in _ESCAPES:
+                raise HicSyntaxError(
+                    f"unknown escape sequence '\\{self._peek()}'", location
+                )
+            self._advance()
+        elif self._peek() and self._peek() != "'":
+            self._advance()
+        else:
+            raise HicSyntaxError("empty character literal", location)
+        if self._peek() != "'":
+            raise HicSyntaxError("unterminated character literal", location)
+        self._advance()
+        return Token(TokenKind.CHAR, self._source[start : self._pos], location)
+
+    def _scan_string(self, location: SourceLocation) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        while self._peek() and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self._peek() != '"':
+            raise HicSyntaxError("unterminated string literal", location)
+        self._advance()
+        return Token(TokenKind.STRING, self._source[start : self._pos], location)
+
+    def _scan_punct(self, location: SourceLocation) -> Token:
+        for group in (_PUNCT3, _PUNCT2):
+            for op in group:
+                if self._source.startswith(op, self._pos):
+                    self._advance(len(op))
+                    return Token(TokenKind.PUNCT, op, location)
+        ch = self._peek()
+        if ch in _PUNCT1:
+            self._advance()
+            return Token(TokenKind.PUNCT, ch, location)
+        raise HicSyntaxError(f"unexpected character {ch!r}", location)
+
+
+def tokenize(source: str, filename: str = "<hic>") -> list[Token]:
+    """Convenience wrapper returning the full token list (including EOF)."""
+    return list(Lexer(source, filename).tokens())

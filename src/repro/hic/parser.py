@@ -1,0 +1,531 @@
+"""Recursive-descent parser for hic.
+
+Grammar (EBNF, terminals quoted)::
+
+    program      = { type_decl | top_pragma | thread } ;
+    type_decl    = "type" IDENT ":" INT ";"
+                 | "type" IDENT "=" "union" "(" type_name { "," type_name } ")" ";" ;
+    top_pragma   = "#" "interface" "{" IDENT "," IDENT "}"
+                 | "#" "constant"  "{" IDENT "," INT "}" ;
+    thread       = "thread" IDENT "(" [ IDENT { "," IDENT } ] ")" block ;
+    block        = "{" { statement } "}" ;
+    statement    = var_decl | dep_pragma | assign | if | case | while | for
+                 | receive | transmit | return | break | continue
+                 | expr ";" | block ;
+    var_decl     = type_name declarator { "," declarator } ";" ;
+    declarator   = IDENT [ "[" INT "]" ] ;
+    dep_pragma   = "#" ("producer"|"consumer")
+                   "{" IDENT { "," "[" IDENT "," IDENT "]" } "}" ;
+    assign       = lvalue ("=" | "+=" | ... ) expr ";" ;
+    case         = "case" "(" expr ")" "{" { arm } [ "default" ":" block ] "}" ;
+    arm          = "of" expr { "," expr } ":" block ;
+
+Dependency pragmas bind to the next assignment statement, per Figure 1 of
+the paper.  User type declarations must precede their first use (the parser
+needs the set of type names to disambiguate declarations from assignments).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+from .errors import HicSyntaxError, SourceLocation
+from .lexer import Token, TokenKind, tokenize
+from .types import BitsType, HicType, TypeTable, UnionType
+
+#: Binary operator precedence, loosest first (C-like).
+_PRECEDENCE: list[tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=")
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.hic.ast.Program`."""
+
+    def __init__(self, source: str, filename: str = "<hic>"):
+        self._tokens = tokenize(source, filename)
+        self._pos = 0
+        self.types = TypeTable()
+
+    # -- token-stream helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind in (TokenKind.PUNCT, TokenKind.KEYWORD) and token.text == text
+
+    def _accept(self, text: str) -> Optional[Token]:
+        if self._check(text):
+            return self._advance()
+        return None
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise HicSyntaxError(
+                f"expected {text!r}, found {self._peek()}", self._peek().location
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise HicSyntaxError(
+                f"expected identifier, found {token}", token.location
+            )
+        return self._advance()
+
+    def _expect_int(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.INT:
+            raise HicSyntaxError(
+                f"expected integer literal, found {token}", token.location
+            )
+        return self._advance()
+
+    def _at_type_name(self) -> bool:
+        """Whether the next token starts a variable declaration."""
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.text in ("int", "char", "message"):
+            return True
+        return token.kind is TokenKind.IDENT and token.text in self.types
+
+    def _parse_type_name(self) -> HicType:
+        token = self._advance()
+        if token.kind not in (TokenKind.KEYWORD, TokenKind.IDENT):
+            raise HicSyntaxError(f"expected type name, found {token}", token.location)
+        try:
+            return self.types.lookup(token.text)
+        except KeyError:
+            raise HicSyntaxError(f"unknown type {token.text!r}", token.location)
+
+    # -- top level ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(location=self._peek().location)
+        while self._peek().kind is not TokenKind.EOF:
+            if self._check("type"):
+                self._parse_type_decl()
+            elif self._check("thread"):
+                program.threads.append(self._parse_thread())
+            elif self._peek().kind is TokenKind.HASH:
+                self._parse_top_pragma(program)
+            else:
+                raise HicSyntaxError(
+                    f"expected 'thread', 'type', or pragma at top level, "
+                    f"found {self._peek()}",
+                    self._peek().location,
+                )
+        return program
+
+    def _parse_type_decl(self) -> None:
+        self._expect("type")
+        name = self._expect_ident()
+        if self._accept(":"):
+            width = self._expect_int()
+            declared: HicType = BitsType(name.text, width.int_value)
+        else:
+            self._expect("=")
+            self._expect("union")
+            self._expect("(")
+            members = [self._parse_type_name()]
+            while self._accept(","):
+                members.append(self._parse_type_name())
+            self._expect(")")
+            declared = UnionType(name.text, tuple(members))
+        self._expect(";")
+        try:
+            self.types.declare(declared)
+        except KeyError as exc:
+            raise HicSyntaxError(str(exc), name.location)
+
+    def _parse_top_pragma(self, program: ast.Program) -> None:
+        hash_token = self._expect("#") if self._check("#") else self._advance()
+        keyword = self._expect_ident()
+        if keyword.text == "interface":
+            self._expect("{")
+            name = self._expect_ident()
+            self._expect(",")
+            kind = self._expect_ident()
+            self._expect("}")
+            program.interfaces.append(
+                ast.InterfacePragma(name.text, kind.text, hash_token.location)
+            )
+        elif keyword.text == "constant":
+            self._expect("{")
+            name = self._expect_ident()
+            self._expect(",")
+            negative = bool(self._accept("-"))
+            value = self._expect_int().int_value
+            if negative:
+                value = -value
+            self._expect("}")
+            program.constants.append(
+                ast.ConstantPragma(name.text, value, hash_token.location)
+            )
+        else:
+            raise HicSyntaxError(
+                f"pragma #{keyword.text} is not allowed at top level "
+                "(only #interface and #constant)",
+                keyword.location,
+            )
+
+    def _parse_thread(self) -> ast.Thread:
+        start = self._expect("thread")
+        name = self._expect_ident()
+        self._expect("(")
+        params: list[str] = []
+        if not self._check(")"):
+            params.append(self._expect_ident().text)
+            while self._accept(","):
+                params.append(self._expect_ident().text)
+        self._expect(")")
+        body = self._parse_block()
+        return ast.Thread(name.text, params, body, start.location)
+
+    # -- statements -------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        start = self._expect("{")
+        block = ast.Block(location=start.location)
+        pending_pragmas: list[ast.DependencyPragma] = []
+        while not self._check("}"):
+            if self._peek().kind is TokenKind.EOF:
+                raise HicSyntaxError("unterminated block", start.location)
+            if self._peek().kind is TokenKind.HASH:
+                pending_pragmas.append(self._parse_dep_pragma())
+                continue
+            stmt = self._parse_statement()
+            if pending_pragmas:
+                if not isinstance(stmt, ast.Assign):
+                    raise HicSyntaxError(
+                        "producer/consumer pragma must immediately precede an "
+                        "assignment statement",
+                        pending_pragmas[0].location,
+                    )
+                stmt.pragmas.extend(pending_pragmas)
+                pending_pragmas = []
+            block.statements.append(stmt)
+        if pending_pragmas:
+            raise HicSyntaxError(
+                "dangling pragma at end of block", pending_pragmas[0].location
+            )
+        self._expect("}")
+        return block
+
+    def _parse_dep_pragma(self) -> ast.DependencyPragma:
+        hash_token = self._advance()  # the HASH
+        keyword = self._expect_ident()
+        if keyword.text not in ("producer", "consumer"):
+            raise HicSyntaxError(
+                f"unknown statement pragma #{keyword.text}", keyword.location
+            )
+        self._expect("{")
+        dep_id = self._expect_ident().text
+        links: list[ast.DependencyLink] = []
+        while self._accept(","):
+            self._expect("[")
+            thread = self._expect_ident().text
+            self._expect(",")
+            variable = self._expect_ident().text
+            self._expect("]")
+            links.append(ast.DependencyLink(thread, variable))
+        self._expect("}")
+        if not links:
+            raise HicSyntaxError(
+                f"pragma #{keyword.text} needs at least one [thread, var] link",
+                keyword.location,
+            )
+        if keyword.text == "producer":
+            return ast.ProducerPragma(dep_id, links, hash_token.location)
+        return ast.ConsumerPragma(dep_id, links, hash_token.location)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if self._check("{"):
+            return self._parse_block()
+        if self._at_type_name():
+            return self._parse_var_decl()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("case"):
+            return self._parse_case()
+        if self._check("while"):
+            return self._parse_while()
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("receive"):
+            return self._parse_receive()
+        if self._check("transmit"):
+            return self._parse_transmit()
+        if self._check("return"):
+            self._advance()
+            value = None if self._check(";") else self._parse_expr()
+            self._expect(";")
+            return ast.Return(value, token.location)
+        if self._check("break"):
+            self._advance()
+            self._expect(";")
+            return ast.Break(token.location)
+        if self._check("continue"):
+            self._advance()
+            self._expect(";")
+            return ast.Continue(token.location)
+        return self._parse_assign_or_expr()
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        start = self._peek()
+        var_type = self._parse_type_name()
+        names: list[str] = []
+        sizes: list[int] = []
+        while True:
+            names.append(self._expect_ident().text)
+            if self._accept("["):
+                size = self._expect_int().int_value
+                if size <= 0:
+                    raise HicSyntaxError(
+                        "array size must be positive", start.location
+                    )
+                sizes.append(size)
+                self._expect("]")
+            else:
+                sizes.append(0)
+            if not self._accept(","):
+                break
+        self._expect(";")
+        return ast.VarDecl(names, var_type, sizes, start.location)
+
+    def _parse_if(self) -> ast.If:
+        start = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then_body = self._parse_block()
+        else_body: Optional[ast.Block] = None
+        if self._accept("else"):
+            if self._check("if"):
+                nested = self._parse_if()
+                else_body = ast.Block([nested], nested.location)
+            else:
+                else_body = self._parse_block()
+        return ast.If(cond, then_body, else_body, start.location)
+
+    def _parse_case(self) -> ast.Case:
+        start = self._expect("case")
+        self._expect("(")
+        selector = self._parse_expr()
+        self._expect(")")
+        self._expect("{")
+        arms: list[ast.CaseArm] = []
+        default: Optional[ast.Block] = None
+        while not self._check("}"):
+            if self._accept("default"):
+                self._expect(":")
+                if default is not None:
+                    raise HicSyntaxError(
+                        "case statement has more than one default arm",
+                        start.location,
+                    )
+                default = self._parse_block()
+            else:
+                arm_start = self._expect("of")
+                values = [self._parse_expr()]
+                while self._accept(","):
+                    values.append(self._parse_expr())
+                self._expect(":")
+                body = self._parse_block()
+                arms.append(ast.CaseArm(values, body, arm_start.location))
+        self._expect("}")
+        if not arms and default is None:
+            raise HicSyntaxError("empty case statement", start.location)
+        return ast.Case(selector, arms, default, start.location)
+
+    def _parse_while(self) -> ast.While:
+        start = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._parse_block()
+        return ast.While(cond, body, start.location)
+
+    def _parse_for(self) -> ast.For:
+        start = self._expect("for")
+        self._expect("(")
+        init: Optional[ast.Assign] = None
+        if not self._check(";"):
+            init = self._parse_bare_assign()
+        self._expect(";")
+        cond: Optional[ast.Expr] = None
+        if not self._check(";"):
+            cond = self._parse_expr()
+        self._expect(";")
+        step: Optional[ast.Assign] = None
+        if not self._check(")"):
+            step = self._parse_bare_assign()
+        self._expect(")")
+        body = self._parse_block()
+        return ast.For(init, cond, step, body, start.location)
+
+    def _parse_receive(self) -> ast.Receive:
+        start = self._expect("receive")
+        self._expect("(")
+        target_token = self._expect_ident()
+        target = ast.Name(target_token.text, target_token.location)
+        self._expect(",")
+        interface = self._expect_ident().text
+        self._expect(")")
+        self._expect(";")
+        return ast.Receive(target, interface, start.location)
+
+    def _parse_transmit(self) -> ast.Transmit:
+        start = self._expect("transmit")
+        self._expect("(")
+        source = self._parse_expr()
+        self._expect(",")
+        interface = self._expect_ident().text
+        self._expect(")")
+        self._expect(";")
+        return ast.Transmit(source, interface, start.location)
+
+    def _parse_bare_assign(self) -> ast.Assign:
+        """An assignment without the trailing semicolon (for-loop headers)."""
+        target = self._parse_primary()
+        if not isinstance(target, (ast.Name, ast.FieldAccess, ast.Index)):
+            raise HicSyntaxError(
+                "assignment target must be a variable, field, or element",
+                target.location,
+            )
+        op_token = self._peek()
+        if op_token.text not in _ASSIGN_OPS:
+            raise HicSyntaxError(
+                f"expected assignment operator, found {op_token}",
+                op_token.location,
+            )
+        self._advance()
+        value = self._parse_expr()
+        return ast.Assign(target, value, op_token.text, location=target.location)
+
+    def _parse_assign_or_expr(self) -> ast.Stmt:
+        expr = self._parse_expr()
+        op_token = self._peek()
+        if op_token.text in _ASSIGN_OPS and op_token.kind is TokenKind.PUNCT:
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise HicSyntaxError(
+                    "assignment target must be a variable, field, or element",
+                    expr.location,
+                )
+            self._advance()
+            value = self._parse_expr()
+            self._expect(";")
+            return ast.Assign(expr, value, op_token.text, location=expr.location)
+        self._expect(";")
+        return ast.ExprStmt(expr, expr.location)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_conditional()
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._accept("?"):
+            then_value = self._parse_expr()
+            self._expect(":")
+            else_value = self._parse_conditional()
+            return ast.Conditional(cond, then_value, else_value, cond.location)
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self._peek().kind is TokenKind.PUNCT and self._peek().text in ops:
+            op = self._advance().text
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(op, left, right, left.location)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text in ("-", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.text, operand, token.location)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return ast.IntLiteral(token.int_value, token.location)
+        if token.kind is TokenKind.CHAR:
+            self._advance()
+            return ast.CharLiteral(token.char_value, token.location)
+        if self._check("true") or self._check("false"):
+            self._advance()
+            return ast.BoolLiteral(token.text == "true", token.location)
+        if self._accept("("):
+            expr = self._parse_expr()
+            self._expect(")")
+            return self._parse_postfix(expr)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._check("("):
+                return self._parse_postfix(self._parse_call(token))
+            return self._parse_postfix(ast.Name(token.text, token.location))
+        raise HicSyntaxError(f"expected expression, found {token}", token.location)
+
+    def _parse_call(self, callee: Token) -> ast.Call:
+        self._expect("(")
+        args: list[ast.Expr] = []
+        if not self._check(")"):
+            args.append(self._parse_expr())
+            while self._accept(","):
+                args.append(self._parse_expr())
+        self._expect(")")
+        return ast.Call(callee.text, args, callee.location)
+
+    def _parse_postfix(self, expr: ast.Expr) -> ast.Expr:
+        while True:
+            if self._accept("."):
+                field_name = self._expect_ident()
+                expr = ast.FieldAccess(expr, field_name.text, field_name.location)
+            elif self._accept("["):
+                index = self._parse_expr()
+                self._expect("]")
+                expr = ast.Index(expr, index, expr.location)
+            else:
+                return expr
+
+
+def parse(source: str, filename: str = "<hic>") -> ast.Program:
+    """Parse hic source text into an AST program."""
+    return Parser(source, filename).parse_program()
+
+
+def parse_with_types(source: str, filename: str = "<hic>") -> tuple[ast.Program, TypeTable]:
+    """Parse and also return the type table (built-ins + user declarations)."""
+    parser = Parser(source, filename)
+    program = parser.parse_program()
+    return program, parser.types

@@ -1,0 +1,321 @@
+"""Memory allocation: mapping hic variables onto BRAMs.
+
+Section 3 of the paper: "the memory allocation process takes into account
+available physical memory size (eg: BRAM size of 18 Kb) and number of ports
+(eg: dual ports on each BRAM)" and is guided by the memory access graph and
+a partial order of operations.  The mapping algorithm itself is explicitly
+*not* the paper's focus, so this module implements a straightforward,
+deterministic allocator with the properties the controllers need:
+
+* every **shared** variable (a dependency endpoint) is BRAM-resident — the
+  whole point of the paper is guarding those BRAM addresses;
+* arrays and ``message`` variables are BRAM-resident (too big for fabric
+  registers);
+* small private scalars stay in fabric **registers** (the FSM datapath);
+* BRAM packing is first-fit decreasing by size, with an affinity preference
+  that tries to co-locate variables touched by the same threads;
+* variables wider than one BRAM word span consecutive words.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..analysis.memgraph import MemoryAccessGraph
+from ..hic.pragmas import Dependency
+from ..hic.semantic import CheckedProgram, Symbol, SymbolKind
+from ..hic.types import MESSAGE_FIELDS, MessageType
+from .bram import BRAM_BITS
+
+
+class Residency(enum.Enum):
+    """Where a variable's storage lives."""
+
+    REGISTER = "register"
+    BRAM = "bram"
+    OFFCHIP = "offchip"
+
+
+#: Scalars at or below this width may stay in fabric registers when private.
+REGISTER_WIDTH_LIMIT = 36
+
+#: Word width used for BRAM packing (512x36 aspect ratio).
+WORD_WIDTH = 36
+
+#: Words available per BRAM at the packing width.
+WORDS_PER_BRAM = BRAM_BITS // WORD_WIDTH  # 512
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The physical location of one variable."""
+
+    thread: str
+    variable: str
+    residency: Residency
+    bram: str = ""
+    base_address: int = 0
+    words: int = 0
+    bits: int = 0
+
+    @property
+    def is_bram(self) -> bool:
+        return self.residency is Residency.BRAM
+
+    @property
+    def is_memory(self) -> bool:
+        """BRAM- or off-chip-resident (accessed through a controller)."""
+        return self.residency in (Residency.BRAM, Residency.OFFCHIP)
+
+
+@dataclass
+class MemoryMap:
+    """The complete allocation result."""
+
+    placements: dict[tuple[str, str], Placement] = field(default_factory=dict)
+    bram_names: list[str] = field(default_factory=list)
+    #: words used per BRAM, for utilization reports
+    bram_fill: dict[str, int] = field(default_factory=dict)
+    #: off-chip banks used (empty unless something spilled)
+    offchip_names: list[str] = field(default_factory=list)
+    offchip_fill: dict[str, int] = field(default_factory=dict)
+
+    def placement(self, thread: str, variable: str) -> Placement:
+        key = (thread, variable)
+        if key not in self.placements:
+            raise KeyError(f"no placement for {thread}.{variable}")
+        return self.placements[key]
+
+    def is_bram_resident(self, thread: str, variable: str) -> bool:
+        key = (thread, variable)
+        return key in self.placements and self.placements[key].is_bram
+
+    def bram_variables(self, bram: str) -> list[Placement]:
+        return sorted(
+            (p for p in self.placements.values() if p.bram == bram),
+            key=lambda p: p.base_address,
+        )
+
+    def bram_count(self) -> int:
+        return len(self.bram_names)
+
+    def register_bits(self) -> int:
+        return sum(
+            p.bits
+            for p in self.placements.values()
+            if p.residency is Residency.REGISTER
+        )
+
+    def utilization(self, bram: str) -> float:
+        return (self.bram_fill.get(bram, 0) * WORD_WIDTH) / BRAM_BITS
+
+
+def words_needed(bits: int) -> int:
+    """BRAM words (at the packing width) needed for ``bits`` of storage."""
+    return max(1, -(-bits // WORD_WIDTH))
+
+
+def symbol_words(symbol: Symbol) -> int:
+    """BRAM words a symbol occupies, honouring addressable layouts.
+
+    * ``message``: one word per field (field-per-word layout, so field
+      accesses are single word reads/writes);
+    * arrays: one word per element (elements must fit the 36-bit word);
+    * scalars: enough words for the bit width.
+    """
+    if isinstance(symbol.hic_type, MessageType):
+        return len(MESSAGE_FIELDS)
+    if symbol.is_array:
+        if symbol.hic_type.bit_width > WORD_WIDTH:
+            raise ValueError(
+                f"array {symbol.name!r}: element width "
+                f"{symbol.hic_type.bit_width} exceeds the {WORD_WIDTH}-bit "
+                "BRAM word"
+            )
+        return symbol.array_size
+    return words_needed(symbol.storage_bits)
+
+
+def _decide_residency(
+    symbol_bits: int,
+    is_array_or_message: bool,
+    is_shared: bool,
+) -> Residency:
+    if is_shared or is_array_or_message or symbol_bits > REGISTER_WIDTH_LIMIT:
+        return Residency.BRAM
+    return Residency.REGISTER
+
+
+def allocate(
+    checked: CheckedProgram,
+    access: MemoryAccessGraph | None = None,
+    force_single_bram: bool = False,
+    allow_offchip: bool = False,
+) -> MemoryMap:
+    """Allocate every storage-owning variable of a checked program.
+
+    Args:
+        checked: The semantically checked program.
+        access: Optional access graph (reserved for finer-grained affinity
+            policies; the current packer uses the owning thread as the
+            affinity unit, which matches the graph's dominant structure
+            since shared variables are stored with their producer).
+        force_single_bram: Place all BRAM-resident data in one BRAM (the
+            paper's evaluation measures a *single* BRAM wrapper; this knob
+            reproduces that setup).  Raises ``ValueError`` if it cannot fit.
+        allow_offchip: Spill variables too large for one BRAM to the
+            off-chip tier instead of failing.  Synchronized (produced)
+            variables may never spill — the paper's wrappers are BRAM port
+            logic.
+    """
+    # Only produced variables must live in BRAM: they are the guarded
+    # addresses.  Consumer-side targets are ordinary thread-local state.
+    shared = {
+        (dep.producer_thread, dep.producer_var)
+        for dep in checked.dependencies
+    }
+    items: list[tuple[tuple[str, str], int, int, bool]] = []
+    for thread_name, scope in sorted(checked.scopes.items()):
+        for name, symbol in sorted(scope.symbols.items()):
+            if symbol.kind in (SymbolKind.SHARED, SymbolKind.CONSTANT):
+                continue
+            is_big = symbol.is_array or symbol.hic_type.name == "message"
+            key = (thread_name, name)
+            items.append((key, symbol.storage_bits, symbol_words(symbol), is_big))
+
+    memory_map = MemoryMap()
+    bram_items: list[tuple[tuple[str, str], int, int]] = []
+    for key, bits, words, is_big in items:
+        residency = _decide_residency(bits, is_big, key in shared)
+        if residency is Residency.REGISTER:
+            memory_map.placements[key] = Placement(
+                thread=key[0],
+                variable=key[1],
+                residency=Residency.REGISTER,
+                bits=bits,
+            )
+        else:
+            bram_items.append((key, bits, words))
+
+    # Variables too large for any single BRAM spill to the off-chip tier
+    # (when allowed); guarded variables must stay on chip.
+    oversize = [item for item in bram_items if item[2] > WORDS_PER_BRAM]
+    if oversize and allow_offchip:
+        bram_items = [i for i in bram_items if i[2] <= WORDS_PER_BRAM]
+        bank = "offchip0"
+        memory_map.offchip_names.append(bank)
+        cursor = 0
+        for key, bits, need in sorted(oversize, key=lambda i: i[0]):
+            if key in shared:
+                raise ValueError(
+                    f"produced variable {key[0]}.{key[1]} is too large for a "
+                    "BRAM and cannot spill off chip (guards are BRAM logic)"
+                )
+            memory_map.placements[key] = Placement(
+                thread=key[0],
+                variable=key[1],
+                residency=Residency.OFFCHIP,
+                bram=bank,
+                base_address=cursor,
+                words=need,
+                bits=bits,
+            )
+            cursor += need
+        memory_map.offchip_fill[bank] = cursor
+
+    # Affinity-aware packing: the natural affinity unit is the owning
+    # thread (shared variables are stored with their producer), so items
+    # are grouped per thread and groups packed first-fit decreasing.  A
+    # group larger than the remaining space splits item-wise, so packing
+    # degrades gracefully to per-item first-fit — BRAM count never exceeds
+    # what plain FFD needs for the same items.
+    for key, bits, need in bram_items:
+        if need > WORDS_PER_BRAM:
+            raise ValueError(
+                f"variable {key[0]}.{key[1]} needs {need} words, "
+                f"more than one BRAM holds ({WORDS_PER_BRAM})"
+            )
+
+    groups: dict[str, list[tuple[tuple[str, str], int, int]]] = {}
+    for item in sorted(bram_items, key=lambda i: (-i[2], i[0])):
+        groups.setdefault(item[0][0], []).append(item)
+    ordered_groups = sorted(
+        groups.values(),
+        key=lambda items: (-sum(i[2] for i in items), items[0][0]),
+    )
+
+    bram_fill: list[int] = []  # words used per open BRAM
+
+    def place(item, bram_idx: int) -> None:
+        key, bits, need = item
+        memory_map.placements[key] = Placement(
+            thread=key[0],
+            variable=key[1],
+            residency=Residency.BRAM,
+            bram=f"bram{bram_idx}",
+            base_address=bram_fill[bram_idx],
+            words=need,
+            bits=bits,
+        )
+        bram_fill[bram_idx] += need
+
+    for group in ordered_groups:
+        total = sum(need for __, __b, need in group)
+        target = None
+        if total <= WORDS_PER_BRAM:
+            for idx, fill in enumerate(bram_fill):
+                if fill + total <= WORDS_PER_BRAM:
+                    target = idx
+                    break
+            if target is None:
+                bram_fill.append(0)
+                target = len(bram_fill) - 1
+            for item in group:
+                place(item, target)
+        else:
+            # Oversized group: split item-wise, first-fit.
+            for item in group:
+                __, __b, need = item
+                target = None
+                for idx, fill in enumerate(bram_fill):
+                    if fill + need <= WORDS_PER_BRAM:
+                        target = idx
+                        break
+                if target is None:
+                    bram_fill.append(0)
+                    target = len(bram_fill) - 1
+                place(item, target)
+
+    if force_single_bram and len(bram_fill) > 1:
+        raise ValueError(
+            "force_single_bram: does not fit in one BRAM "
+            f"({len(bram_fill)} needed)"
+        )
+    for idx, fill in enumerate(bram_fill):
+        name = f"bram{idx}"
+        memory_map.bram_names.append(name)
+        memory_map.bram_fill[name] = fill
+
+    return memory_map
+
+
+def dependencies_per_bram(
+    memory_map: MemoryMap, dependencies: list[Dependency]
+) -> dict[str, list[Dependency]]:
+    """Group dependencies by the BRAM holding their produced variable.
+
+    The controllers are generated *per BRAM* ("insert memory dependence
+    enforcement on a per-BRAM basis", §3), so each BRAM's wrapper guards
+    exactly the dependencies whose producer variable it stores.
+    """
+    grouping: dict[str, list[Dependency]] = {name: [] for name in memory_map.bram_names}
+    for dep in dependencies:
+        placement = memory_map.placement(dep.producer_thread, dep.producer_var)
+        if not placement.is_bram:
+            raise ValueError(
+                f"dependency {dep.dep_id!r}: producer variable "
+                f"{dep.producer_var!r} must be BRAM-resident"
+            )
+        grouping[placement.bram].append(dep)
+    return grouping

@@ -1,0 +1,268 @@
+"""The per-BRAM dependency list of the arbitrated memory organization.
+
+Section 3.1: "the dependency list ... is populated at configuration time
+since they are determined at design time using static analysis.  Each entry
+in the list has two parts.  The first part contains a dependency number,
+which is the number of threads that are dependent on this producer ...  The
+second part of the entry is the base address of the data structure in BRAM."
+
+A CAM-like structure compares an incoming address against all entries in
+parallel.  This module holds the *static configuration* (built from the
+allocation) and the *runtime counters* used by the behavioural controller
+model; the RTL generator sizes its CAM and counter bits from the same
+object, so area estimation and simulation cannot drift apart.
+
+Granularity note: the guard covers the *base address* of the produced data
+structure — "this is the address that consumer threads will provide to
+read the data" — so for multi-word data only the base-word transaction is
+guarded; follow-on words are plain accesses, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hic.pragmas import Dependency
+from .allocation import MemoryMap
+
+
+@dataclass
+class DependencyEntry:
+    """One configured entry: a guarded producer address.
+
+    Attributes:
+        dep_id: The source dependency identifier (diagnostics only; the
+            hardware stores just dn and the address).
+        dependency_number: ``dn`` — consumer reads expected per write.
+        base_address: The guarded word address in the BRAM.
+        producer_thread: Thread allowed to write through port D.
+        consumer_threads: Threads allowed to read through port C.
+    """
+
+    dep_id: str
+    dependency_number: int
+    base_address: int
+    producer_thread: str
+    consumer_threads: tuple[str, ...]
+
+    #: Runtime: outstanding consumer reads before the guard re-arms.
+    #: Zero means "no valid data": consumers block, producer may write.
+    outstanding: int = 0
+
+    def reset(self) -> None:
+        self.outstanding = 0
+
+    @property
+    def counter_bits(self) -> int:
+        """Bits needed for the outstanding-reads counter."""
+        return max(1, (self.dependency_number).bit_length())
+
+
+@dataclass
+class DependencyList:
+    """The dependency list attached to one BRAM wrapper."""
+
+    bram: str
+    entries: list[DependencyEntry] = field(default_factory=list)
+    address_bits: int = 9  # 512-word BRAM
+
+    @classmethod
+    def build(
+        cls,
+        bram: str,
+        dependencies: list[Dependency],
+        memory_map: MemoryMap,
+        address_bits: int = 9,
+    ) -> "DependencyList":
+        """Populate the list from resolved dependencies (configuration time)."""
+        entries = []
+        for dep in dependencies:
+            placement = memory_map.placement(dep.producer_thread, dep.producer_var)
+            if placement.bram != bram:
+                raise ValueError(
+                    f"dependency {dep.dep_id!r} belongs to BRAM "
+                    f"{placement.bram!r}, not {bram!r}"
+                )
+            entries.append(
+                DependencyEntry(
+                    dep_id=dep.dep_id,
+                    dependency_number=dep.dependency_number,
+                    base_address=placement.base_address,
+                    producer_thread=dep.producer_thread,
+                    consumer_threads=dep.consumer_threads(),
+                )
+            )
+        return cls(bram=bram, entries=entries, address_bits=address_bits)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def reset(self) -> None:
+        for entry in self.entries:
+            entry.reset()
+
+    # -- the CAM match ------------------------------------------------------------
+
+    def match(self, address: int) -> DependencyEntry | None:
+        """CAM lookup: the first entry guarding ``address``, or None.
+
+        Multiple dependencies may guard the same address ("multiple
+        producer-consumer dependencies on a single address", §3.1) — use
+        :meth:`match_for_write` / :meth:`match_for_read` when the
+        requesting thread is known to pick the right one.
+        """
+        for entry in self.entries:
+            if entry.base_address == address:
+                return entry
+        return None
+
+    def matches(self, address: int) -> list[DependencyEntry]:
+        """All entries guarding ``address``."""
+        return [e for e in self.entries if e.base_address == address]
+
+    def match_for_write(
+        self,
+        address: int,
+        producer_thread: str,
+        dep_id: str | None = None,
+    ) -> DependencyEntry | None:
+        """The entry a given producer's write arms.
+
+        Per §3.1, each producer carries its own dependency number with the
+        write ("we store the associated dependency number in each producer
+        thread"), so a tagged write selects its entry directly; untagged
+        writes fall back to the writer's identity."""
+        candidates = [
+            e
+            for e in self.matches(address)
+            if e.producer_thread == producer_thread
+        ]
+        if dep_id is not None:
+            for entry in candidates:
+                if entry.dep_id == dep_id:
+                    return entry
+            return None
+        return candidates[0] if candidates else None
+
+    def match_for_read(
+        self,
+        address: int,
+        consumer_thread: str,
+        dep_id: str | None = None,
+    ) -> DependencyEntry | None:
+        """The entry a given consumer's read draws from: a tagged read
+        selects its entry; otherwise the entry listing the reader among
+        its consumers (preferring an armed one)."""
+        candidates = [
+            e
+            for e in self.matches(address)
+            if consumer_thread in e.consumer_threads
+        ]
+        if dep_id is not None:
+            for entry in candidates:
+                if entry.dep_id == dep_id:
+                    return entry
+            return None
+        for entry in candidates:
+            if entry.outstanding > 0:
+                return entry
+        return candidates[0] if candidates else None
+
+    def entry_for(self, dep_id: str) -> DependencyEntry:
+        for entry in self.entries:
+            if entry.dep_id == dep_id:
+                return entry
+        raise KeyError(f"no dependency entry {dep_id!r}")
+
+    # -- the guard protocol (§3.1 access rules) -----------------------------------
+
+    def consumer_read_allowed(
+        self,
+        address: int,
+        consumer_thread: str | None = None,
+        dep_id: str | None = None,
+    ) -> bool:
+        """Port C rule: a read is granted iff the address is guarded with a
+        dependency number greater than zero; otherwise it blocks."""
+        if consumer_thread is not None:
+            entry = self.match_for_read(address, consumer_thread, dep_id)
+        else:
+            entry = self.match(address)
+        if entry is None:
+            # Unguarded addresses are not port-C traffic; grant defensively.
+            return True
+        return entry.outstanding > 0
+
+    def producer_write_allowed(
+        self,
+        address: int,
+        producer_thread: str | None = None,
+        dep_id: str | None = None,
+    ) -> bool:
+        """Port D rule: a write is allowed iff a matching entry exists and
+        the previous produce-consume cycle has completed (counter at zero)."""
+        if producer_thread is not None:
+            entry = self.match_for_write(address, producer_thread, dep_id)
+        else:
+            entry = self.match(address)
+        if entry is None:
+            return False
+        # With several dependencies guarding one address, a write must also
+        # wait for every *other* entry's consumers: the storage location is
+        # shared, so an armed sibling entry means unconsumed data that this
+        # write would clobber.
+        return all(e.outstanding == 0 for e in self.matches(address))
+
+    def note_producer_write(
+        self,
+        address: int,
+        producer_thread: str | None = None,
+        dep_id: str | None = None,
+    ) -> None:
+        """A granted producer write arms the guard: dn consumer reads may
+        now proceed."""
+        if producer_thread is not None:
+            entry = self.match_for_write(address, producer_thread, dep_id)
+        else:
+            entry = self.match(address)
+        if entry is None:
+            raise KeyError(f"no dependency entry guards address {address}")
+        entry.outstanding = entry.dependency_number
+
+    def note_consumer_read(
+        self,
+        address: int,
+        consumer_thread: str | None = None,
+        dep_id: str | None = None,
+    ) -> None:
+        """A granted consumer read decrements the outstanding count; at zero
+        the produce-consume cycle ends and the address is unguarded until
+        the next write."""
+        if consumer_thread is not None:
+            entry = self.match_for_read(address, consumer_thread, dep_id)
+        else:
+            entry = self.match(address)
+        if entry is None:
+            raise KeyError(f"no dependency entry guards address {address}")
+        if entry.outstanding <= 0:
+            raise RuntimeError(
+                f"consumer read at address {address} with no outstanding "
+                "produce-consume cycle"
+            )
+        entry.outstanding -= 1
+
+    # -- hardware sizing (consumed by the RTL generator / area model) --------------
+
+    @property
+    def counter_bits(self) -> int:
+        """Width of the widest per-entry counter."""
+        if not self.entries:
+            return 1
+        return max(entry.counter_bits for entry in self.entries)
+
+    def storage_bits(self) -> int:
+        """Flip-flop bits the list occupies: per entry, the base address,
+        the outstanding counter, and a valid bit."""
+        return sum(
+            self.address_bits + entry.counter_bits + 1 for entry in self.entries
+        )

@@ -1,0 +1,172 @@
+"""Seeded stochastic traffic generators.
+
+The paper's §3.1 observation — "the writes happen when packets arrive from
+a network and are probabilistic in nature" — is what creates the arbitrated
+organization's non-deterministic latency.  These generators reproduce that
+probabilistic producer behaviour reproducibly: every generator takes a
+seed, so a benchmark run is repeatable while still exercising irregular
+arrival patterns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .packet import Ipv4Packet, ip
+
+
+@dataclass
+class PacketFactory:
+    """Generates destination/source-varied packets deterministically."""
+
+    seed: int = 1
+    ports: int = 4
+    _rng: random.Random = field(init=False, repr=False)
+    _sequence: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def make(self) -> Ipv4Packet:
+        self._sequence += 1
+        dst = ip(10, self._rng.randrange(self.ports), 0, 0) | self._rng.randrange(
+            1 << 12
+        )
+        src = ip(192, 168, 0, 1 + (self._sequence % 254))
+        return Ipv4Packet(
+            src_addr=src,
+            dst_addr=dst,
+            length=64 + self._rng.randrange(0, 1400, 64),
+            ttl=64,
+            payload=self._sequence,
+        ).with_checksum()
+
+
+class TrafficGenerator:
+    """Base class: yields 0..n packets per cycle."""
+
+    def packets_at(self, cycle: int) -> list[Ipv4Packet]:
+        raise NotImplementedError
+
+    def attach(self, rx_interface) -> "_AttachedHook":
+        """A kernel pre-cycle hook that injects this generator's packets."""
+        return _AttachedHook(self, rx_interface)
+
+
+@dataclass
+class _AttachedHook:
+    generator: TrafficGenerator
+    rx_interface: object
+    injected: int = 0
+
+    def __call__(self, cycle: int, kernel) -> None:
+        for packet in self.generator.packets_at(cycle):
+            self.rx_interface.push(packet.to_message())
+            self.injected += 1
+
+
+@dataclass
+class BernoulliTraffic(TrafficGenerator):
+    """Independent per-cycle arrival with probability ``rate``."""
+
+    rate: float
+    seed: int = 1
+    factory: Optional[PacketFactory] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be a probability")
+        self._rng = random.Random(self.seed)
+        if self.factory is None:
+            self.factory = PacketFactory(seed=self.seed + 1)
+
+    def packets_at(self, cycle: int) -> list[Ipv4Packet]:
+        if self._rng.random() < self.rate:
+            return [self.factory.make()]
+        return []
+
+
+@dataclass
+class PoissonTraffic(TrafficGenerator):
+    """Geometric inter-arrival gaps (the discrete-time Poisson analogue)."""
+
+    mean_gap: float
+    seed: int = 1
+    factory: Optional[PacketFactory] = None
+    _rng: random.Random = field(init=False, repr=False)
+    _next_arrival: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.mean_gap < 1.0:
+            raise ValueError("mean gap must be at least one cycle")
+        self._rng = random.Random(self.seed)
+        if self.factory is None:
+            self.factory = PacketFactory(seed=self.seed + 1)
+        self._next_arrival = self._gap()
+
+    def _gap(self) -> int:
+        # Geometric with mean self.mean_gap.
+        p = 1.0 / self.mean_gap
+        gap = 1
+        while self._rng.random() > p:
+            gap += 1
+        return gap
+
+    def packets_at(self, cycle: int) -> list[Ipv4Packet]:
+        if cycle >= self._next_arrival:
+            self._next_arrival = cycle + self._gap()
+            return [self.factory.make()]
+        return []
+
+
+@dataclass
+class BurstyTraffic(TrafficGenerator):
+    """On/off bursts: back-to-back packets during bursts, silence between."""
+
+    burst_len: int = 8
+    gap_len: int = 24
+    seed: int = 1
+    factory: Optional[PacketFactory] = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.burst_len <= 0 or self.gap_len < 0:
+            raise ValueError("burst length must be positive, gap non-negative")
+        self._rng = random.Random(self.seed)
+        if self.factory is None:
+            self.factory = PacketFactory(seed=self.seed + 1)
+
+    def packets_at(self, cycle: int) -> list[Ipv4Packet]:
+        period = self.burst_len + self.gap_len
+        if (cycle % period) < self.burst_len:
+            return [self.factory.make()]
+        return []
+
+
+@dataclass
+class DeterministicTraffic(TrafficGenerator):
+    """One packet every ``interval`` cycles — the control case."""
+
+    interval: int = 4
+    factory: Optional[PacketFactory] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.factory is None:
+            self.factory = PacketFactory(seed=7)
+
+    def packets_at(self, cycle: int) -> list[Ipv4Packet]:
+        if cycle % self.interval == 0:
+            return [self.factory.make()]
+        return []
+
+
+def replay(generator: TrafficGenerator, cycles: int) -> Iterator[tuple[int, Ipv4Packet]]:
+    """Offline expansion of a generator over a cycle range."""
+    for cycle in range(cycles):
+        for packet in generator.packets_at(cycle):
+            yield cycle, packet

@@ -1,0 +1,306 @@
+"""Macro primitive library with Virtex-II Pro cost models.
+
+Each macro models a parametric RTL building block and knows its cost on the
+Virtex-II Pro fabric:
+
+* ``luts()`` — 4-input LUTs (each slice holds two);
+* ``ffs()`` — flip-flops (each slice holds two);
+* ``brams()`` — 18 Kb block RAMs;
+* ``logic_levels()`` — LUT levels through the macro, the timing model's
+  unit of combinational depth.
+
+Cost rules follow the standard Virtex-II mapping conventions:
+
+* a 2:1 mux fits one LUT4 per bit; a 4:1 mux uses two LUT4 plus the free
+  MUXF5, so an N:1 mux costs ``ceil(N/2)`` LUTs per bit and
+  ``ceil(log2(N))`` levels (MUXF5/F6 levels are nearly free and folded in);
+* an equality comparator reduces 2 bits per LUT4, then ANDs the partials
+  in a tree;
+* counters/adders use the carry chain: one LUT per bit, one level.
+
+The absolute numbers are *model* numbers, not ISE P&R output; what must be
+trusted is how costs scale with the generator parameters — exactly the
+quantity the paper's Tables 1 and 2 report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def clog2(value: int) -> int:
+    """Ceiling log2 with clog2(0) == clog2(1) == 1 (register a degenerate
+    choice in 1 bit)."""
+    if value <= 1:
+        return 1
+    return int(math.ceil(math.log2(value)))
+
+
+@dataclass(frozen=True)
+class MacroPrimitive:
+    """Base class of all macro primitives."""
+
+    def luts(self) -> int:
+        return 0
+
+    def ffs(self) -> int:
+        return 0
+
+    def brams(self) -> int:
+        return 0
+
+    def logic_levels(self) -> int:
+        return 0
+
+    def describe(self) -> str:
+        params = ", ".join(
+            f"{k}={v}" for k, v in sorted(vars(self).items())
+        )
+        return (
+            f"{type(self).__name__}({params}) "
+            f"LUT={self.luts()} FF={self.ffs()}"
+        )
+
+
+@dataclass(frozen=True)
+class Register(MacroPrimitive):
+    """A simple register bank: ``width`` flip-flops."""
+
+    width: int
+    with_enable: bool = False
+
+    def ffs(self) -> int:
+        return self.width
+
+    def luts(self) -> int:
+        # A clock-enable costs nothing (dedicated CE pin); a load mux would
+        # be charged separately.
+        return 0
+
+
+@dataclass(frozen=True)
+class Counter(MacroPrimitive):
+    """An up/down counter with load: one LUT + one FF per bit (carry chain)."""
+
+    width: int
+
+    def ffs(self) -> int:
+        return self.width
+
+    def luts(self) -> int:
+        return self.width
+
+    def logic_levels(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Adder(MacroPrimitive):
+    """A ripple-carry adder on the dedicated carry chain."""
+
+    width: int
+
+    def luts(self) -> int:
+        return self.width
+
+    def logic_levels(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Mux(MacroPrimitive):
+    """An ``inputs``:1 multiplexer, ``width`` bits wide."""
+
+    width: int
+    inputs: int
+
+    def luts(self) -> int:
+        if self.inputs <= 1:
+            return 0
+        return self.width * int(math.ceil(self.inputs / 2))
+
+    def logic_levels(self) -> int:
+        if self.inputs <= 1:
+            return 0
+        return clog2(self.inputs)
+
+
+@dataclass(frozen=True)
+class Demux(MacroPrimitive):
+    """A 1:``outputs`` demultiplexer / decoder-gated fanout."""
+
+    width: int
+    outputs: int
+
+    def luts(self) -> int:
+        if self.outputs <= 1:
+            return 0
+        # One AND gate per output bit, plus the select decoder.
+        return self.width * self.outputs // 2 + self.outputs
+
+    def logic_levels(self) -> int:
+        if self.outputs <= 1:
+            return 0
+        return 1 + (1 if self.outputs > 4 else 0)
+
+
+@dataclass(frozen=True)
+class EqComparator(MacroPrimitive):
+    """Equality comparator: 2 bits per LUT4, AND-reduced in a tree."""
+
+    width: int
+
+    def luts(self) -> int:
+        partials = int(math.ceil(self.width / 2))
+        # AND tree over partials, 4 inputs per LUT.
+        tree = 0
+        remaining = partials
+        while remaining > 1:
+            level = int(math.ceil(remaining / 4))
+            tree += level
+            remaining = level
+        return partials + tree
+
+    def logic_levels(self) -> int:
+        partials = int(math.ceil(self.width / 2))
+        levels = 1
+        remaining = partials
+        while remaining > 1:
+            remaining = int(math.ceil(remaining / 4))
+            levels += 1
+        return levels
+
+
+@dataclass(frozen=True)
+class MagComparator(MacroPrimitive):
+    """Magnitude comparator on the carry chain."""
+
+    width: int
+
+    def luts(self) -> int:
+        return self.width
+
+    def logic_levels(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Decoder(MacroPrimitive):
+    """Select decoder: ``outputs`` one-hot lines from a binary select."""
+
+    outputs: int
+
+    def luts(self) -> int:
+        if self.outputs <= 1:
+            return 0
+        select_bits = clog2(self.outputs)
+        per_output = 1 if select_bits <= 4 else 2
+        return self.outputs * per_output
+
+    def logic_levels(self) -> int:
+        if self.outputs <= 1:
+            return 0
+        return 1 if clog2(self.outputs) <= 4 else 2
+
+
+@dataclass(frozen=True)
+class PriorityEncoder(MacroPrimitive):
+    """Fixed-priority encoder over ``inputs`` request lines."""
+
+    inputs: int
+
+    def luts(self) -> int:
+        if self.inputs <= 1:
+            return 0
+        return self.inputs + clog2(self.inputs)
+
+    def logic_levels(self) -> int:
+        if self.inputs <= 1:
+            return 0
+        return 1 + clog2(self.inputs) // 2
+
+
+@dataclass(frozen=True)
+class RoundRobinArbiterMacro(MacroPrimitive):
+    """Round-robin arbiter: rotate pointer + masked priority encode."""
+
+    clients: int
+
+    def ffs(self) -> int:
+        return clog2(self.clients)  # the grant pointer
+
+    def luts(self) -> int:
+        if self.clients <= 1:
+            return 1
+        # mask generation + two priority encoders (masked/unmasked) + select
+        return 2 * self.clients + 2 * (self.clients + clog2(self.clients))
+
+    def logic_levels(self) -> int:
+        if self.clients <= 1:
+            return 1
+        return 2 + clog2(self.clients) // 2
+
+
+@dataclass(frozen=True)
+class CamRow(MacroPrimitive):
+    """One dependency-list row: stored key + valid + parallel comparator."""
+
+    key_bits: int
+
+    def ffs(self) -> int:
+        return self.key_bits + 1  # key + valid
+
+    def luts(self) -> int:
+        return EqComparator(self.key_bits).luts() + 1  # + valid gate
+
+    def logic_levels(self) -> int:
+        return EqComparator(self.key_bits).logic_levels() + 1
+
+
+@dataclass(frozen=True)
+class FsmLogic(MacroPrimitive):
+    """State register plus next-state/output logic of a control FSM."""
+
+    states: int
+    transitions: int
+
+    def ffs(self) -> int:
+        return clog2(self.states)
+
+    def luts(self) -> int:
+        state_bits = clog2(self.states)
+        # Each transition term decodes current state + a guard bit and
+        # contributes to each next-state bit.
+        return max(1, self.transitions) * 2 + state_bits * 2
+
+    def logic_levels(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class BramMacro(MacroPrimitive):
+    """One 18 Kb block RAM."""
+
+    depth: int = 512
+    width: int = 36
+
+    def brams(self) -> int:
+        return 1
+
+    def logic_levels(self) -> int:
+        return 0  # dedicated block; its access time is in the timing model
+
+
+@dataclass(frozen=True)
+class RandomLogic(MacroPrimitive):
+    """Uncommitted control logic, charged directly in LUTs."""
+
+    lut_count: int
+    levels: int = 1
+
+    def luts(self) -> int:
+        return self.lut_count
+
+    def logic_levels(self) -> int:
+        return self.levels

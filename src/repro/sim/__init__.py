@@ -1,0 +1,45 @@
+"""Cycle-accurate simulation of synthesized designs.
+
+* :mod:`~repro.sim.kernel` — the two-phase clocked simulation kernel;
+* :mod:`~repro.sim.executor` — FSM thread interpreters with exact 32-bit
+  arithmetic and interface models;
+* :mod:`~repro.sim.vcd` — VCD trace writing for waveform inspection;
+* :mod:`~repro.sim.probes` — latency/throughput/determinism measurement.
+"""
+
+from .executor import (
+    MASK32,
+    ExecutorStats,
+    RxInterface,
+    ThreadExecutor,
+    TxInterface,
+    default_intrinsic,
+    to_signed,
+    to_unsigned,
+)
+from .kernel import SimulationKernel, SimulationResult
+from .probes import (
+    ConsumerLatencyProbe,
+    ConsumerLatencySummary,
+    ThroughputProbe,
+    determinism_report,
+)
+from .vcd import VcdWriter
+
+__all__ = [
+    "MASK32",
+    "ExecutorStats",
+    "RxInterface",
+    "ThreadExecutor",
+    "TxInterface",
+    "default_intrinsic",
+    "to_signed",
+    "to_unsigned",
+    "SimulationKernel",
+    "SimulationResult",
+    "ConsumerLatencyProbe",
+    "ConsumerLatencySummary",
+    "ThroughputProbe",
+    "determinism_report",
+    "VcdWriter",
+]

@@ -1,0 +1,380 @@
+"""FSM thread executor: interprets synthesized thread FSMs cycle by cycle.
+
+Each :class:`ThreadExecutor` owns one thread's datapath state (its register
+environment) and walks its FSM under the two-phase protocol of
+:mod:`repro.sim.kernel`:
+
+* **phase 1** — the executor performs the current state's register-only
+  work, or submits its memory request / checks its interface;
+* **phase 2** — after the memory controllers arbitrate, granted executors
+  absorb read data and take a transition; blocked executors stay put (the
+  hardware analogue: the FSM state register holds).
+
+Expression evaluation is exact two's-complement 32-bit arithmetic, with
+hic's combinational functions (``f``, ``g``, ``h``, the forwarding lookup,
+…) resolved through a caller-supplied function table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.controller import MemRequest, MemResult, MemoryController
+from ..hic import ast
+from ..hic.semantic import CheckedProgram
+from ..hic.types import MESSAGE_FIELDS
+from ..memory.allocation import MemoryMap, Residency
+from ..synth.fsm import (
+    ComputeOp,
+    MemReadOp,
+    MemWriteOp,
+    ReceiveOp,
+    ThreadFsm,
+    TransmitOp,
+)
+
+MASK32 = (1 << 32) - 1
+
+
+def to_signed(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+def to_unsigned(value: int) -> int:
+    return value & MASK32
+
+
+def default_intrinsic(name: str) -> Callable[..., int]:
+    """A deterministic stand-in for an unknown combinational function.
+
+    Mixes the arguments with a Knuth multiplicative hash salted by the
+    function name, so distinct functions produce distinct (but repeatable)
+    results — adequate for exercising dataflow without the real logic.
+    """
+    salt = sum(ord(c) for c in name)
+
+    def fn(*args: int) -> int:
+        acc = salt & MASK32
+        for arg in args:
+            acc = (acc * 2654435761 + (arg & MASK32) + 1) & MASK32
+        return acc
+
+    return fn
+
+
+class RxInterface:
+    """Ingress side of a network interface: a message queue the traffic
+    generator fills and receive states drain."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._queue: list[dict[str, int]] = []
+        self.delivered = 0
+
+    def push(self, message: dict[str, int]) -> None:
+        self._queue.append(dict(message))
+
+    def pop(self) -> Optional[dict[str, int]]:
+        if not self._queue:
+            return None
+        self.delivered += 1
+        return self._queue.pop(0)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+
+class TxInterface:
+    """Egress side: collects transmitted messages with timestamps."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.messages: list[tuple[int, dict[str, int]]] = []
+
+    def push(self, cycle: int, message: dict[str, int]) -> None:
+        self.messages.append((cycle, dict(message)))
+
+    @property
+    def count(self) -> int:
+        return len(self.messages)
+
+
+@dataclass
+class ExecutorStats:
+    """Per-thread execution statistics."""
+
+    cycles: int = 0
+    stall_cycles: int = 0
+    state_visits: dict[str, int] = field(default_factory=dict)
+    rounds_completed: int = 0
+
+    @property
+    def utilization(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return 1.0 - self.stall_cycles / self.cycles
+
+
+class ThreadExecutor:
+    """Cycle-level interpreter for one synthesized thread FSM."""
+
+    def __init__(
+        self,
+        checked: CheckedProgram,
+        memory_map: MemoryMap,
+        fsm: ThreadFsm,
+        controllers: dict[str, MemoryController],
+        functions: Optional[dict[str, Callable[..., int]]] = None,
+        rx_interfaces: Optional[dict[str, RxInterface]] = None,
+        tx_interfaces: Optional[dict[str, TxInterface]] = None,
+        guarded_port_override: Optional[dict[str, str]] = None,
+    ):
+        self._checked = checked
+        self._map = memory_map
+        self.fsm = fsm
+        self._controllers = controllers
+        self._functions = dict(functions or {})
+        self._rx = rx_interfaces or {}
+        self._tx = tx_interfaces or {}
+        #: remap guarded ports per organization: the event-driven wrapper
+        #: serves both producer writes and consumer reads on port "B".
+        self._port_override = guarded_port_override or {}
+
+        self.env: dict[str, int] = {}
+        for name, value in checked.constants.items():
+            self.env[name] = to_unsigned(value)
+        self.state_name = fsm.initial
+        self.stats = ExecutorStats()
+        self._waiting_read: Optional[MemReadOp] = None
+        self._op_index = 0
+        self._blocked = False
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def evaluate(self, expr: ast.Expr) -> int:
+        """Evaluate a rewritten (register-only) expression to 32 bits."""
+        if isinstance(expr, ast.IntLiteral):
+            return to_unsigned(expr.value)
+        if isinstance(expr, ast.CharLiteral):
+            return expr.value & 0xFF
+        if isinstance(expr, ast.BoolLiteral):
+            return int(expr.value)
+        if isinstance(expr, ast.Name):
+            return to_unsigned(self.env.get(expr.ident, 0))
+        if isinstance(expr, ast.Unary):
+            operand = self.evaluate(expr.operand)
+            if expr.op == "-":
+                return to_unsigned(-to_signed(operand))
+            if expr.op == "!":
+                return int(operand == 0)
+            if expr.op == "~":
+                return to_unsigned(~operand)
+            raise ValueError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.Conditional):
+            if self.evaluate(expr.cond):
+                return self.evaluate(expr.then_value)
+            return self.evaluate(expr.else_value)
+        if isinstance(expr, ast.Call):
+            args = [self.evaluate(a) for a in expr.args]
+            fn = self._functions.get(expr.callee)
+            if fn is None:
+                fn = default_intrinsic(expr.callee)
+                self._functions[expr.callee] = fn
+            return to_unsigned(fn(*args))
+        raise TypeError(
+            f"cannot evaluate {type(expr).__name__} at simulation time"
+        )
+
+    def _eval_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        left = self.evaluate(expr.left)
+        if op == "&&":
+            return int(bool(left) and bool(self.evaluate(expr.right)))
+        if op == "||":
+            return int(bool(left) or bool(self.evaluate(expr.right)))
+        right = self.evaluate(expr.right)
+        sl, sr = to_signed(left), to_signed(right)
+        if op == "+":
+            return to_unsigned(sl + sr)
+        if op == "-":
+            return to_unsigned(sl - sr)
+        if op == "*":
+            return to_unsigned(sl * sr)
+        if op == "/":
+            if sr == 0:
+                return MASK32  # hardware divide-by-zero convention
+            return to_unsigned(int(sl / sr))
+        if op == "%":
+            if sr == 0:
+                return 0
+            return to_unsigned(sl - int(sl / sr) * sr)
+        if op == "<<":
+            return to_unsigned(left << (right & 31))
+        if op == ">>":
+            return to_unsigned(left >> (right & 31))
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(sl < sr)
+        if op == "<=":
+            return int(sl <= sr)
+        if op == ">":
+            return int(sl > sr)
+        if op == ">=":
+            return int(sl >= sr)
+        raise ValueError(f"unknown binary operator {op!r}")
+
+    # -- cycle protocol ---------------------------------------------------------------
+
+    @property
+    def state(self):
+        return self.fsm.states[self.state_name]
+
+    def phase1(self, cycle: int) -> None:
+        """Do register work or submit this state's memory/interface request."""
+        self.stats.cycles += 1
+        self.stats.state_visits[self.state_name] = (
+            self.stats.state_visits.get(self.state_name, 0) + 1
+        )
+        self._blocked = False
+        state = self.state
+        ops = state.ops
+        if not ops:
+            return
+
+        for op in ops:
+            if isinstance(op, ComputeOp):
+                self.env[op.dest] = self.evaluate(op.expr)
+            elif isinstance(op, MemReadOp):
+                self._submit_read(op)
+            elif isinstance(op, MemWriteOp):
+                self._submit_write(op)
+            elif isinstance(op, ReceiveOp):
+                self._try_receive(op, cycle)
+            elif isinstance(op, TransmitOp):
+                self._do_transmit(op, cycle)
+            else:  # pragma: no cover
+                raise TypeError(f"unknown micro-op {type(op).__name__}")
+
+    def _address_of(self, op) -> int:
+        address = op.base_address
+        if op.offset_expr is not None:
+            address += to_signed(self.evaluate(op.offset_expr))
+        return address
+
+    def _port_for(self, op) -> str:
+        if op.dep_id is not None:
+            return self._port_override.get(op.port, op.port)
+        return op.port
+
+    def _submit_read(self, op: MemReadOp) -> None:
+        controller = self._controllers[op.bram]
+        controller.submit(
+            MemRequest(
+                client=self.fsm.thread,
+                port=self._port_for(op),
+                address=self._address_of(op),
+                write=False,
+                dep_id=op.dep_id,
+            )
+        )
+        self._waiting_read = op
+        self._blocked = True  # resolved in phase 2 if granted
+
+    def _submit_write(self, op: MemWriteOp) -> None:
+        controller = self._controllers[op.bram]
+        controller.submit(
+            MemRequest(
+                client=self.fsm.thread,
+                port=self._port_for(op),
+                address=self._address_of(op),
+                write=True,
+                data=self.evaluate(op.value_expr),
+                dep_id=op.dep_id,
+            )
+        )
+        self._blocked = True
+
+    def _try_receive(self, op: ReceiveOp, cycle: int) -> None:
+        rx = self._rx.get(op.interface)
+        message = rx.pop() if rx is not None else None
+        if message is None:
+            self._blocked = True
+            return
+        self._store_message(op.target, message)
+
+    def _do_transmit(self, op: TransmitOp, cycle: int) -> None:
+        tx = self._tx.get(op.interface)
+        if tx is not None:
+            tx.push(cycle, self._load_message(op.source))
+
+    # -- message storage (interface-side DMA over the dedicated port) ----------------
+
+    def _message_placement(self, var: str):
+        placement = self._map.placements.get((self.fsm.thread, var))
+        if placement is None or placement.residency is not Residency.BRAM:
+            raise KeyError(
+                f"message variable {self.fsm.thread}.{var} is not BRAM-resident"
+            )
+        return placement
+
+    def _store_message(self, var: str, message: dict[str, int]) -> None:
+        placement = self._message_placement(var)
+        bram = self._controllers[placement.bram].bram
+        for index, field_name in enumerate(MESSAGE_FIELDS):
+            bram.write(
+                placement.base_address + index, message.get(field_name, 0)
+            )
+
+    def _load_message(self, var: str) -> dict[str, int]:
+        placement = self._message_placement(var)
+        bram = self._controllers[placement.bram].bram
+        return {
+            field_name: bram.peek(placement.base_address + index)
+            for index, field_name in enumerate(MESSAGE_FIELDS)
+        }
+
+    # -- phase 2 ------------------------------------------------------------------------
+
+    def phase2(self, results: dict[str, dict[str, MemResult]]) -> None:
+        """Absorb grants and advance the state register."""
+        state = self.state
+        if self._blocked:
+            granted = False
+            if state.memory_ops:
+                op = state.memory_ops[0]
+                result = results.get(op.bram, {}).get(self.fsm.thread)
+                if result is not None and result.granted:
+                    granted = True
+                    if self._waiting_read is not None:
+                        self.env[self._waiting_read.dest] = result.data
+            if not granted:
+                self.stats.stall_cycles += 1
+                self._waiting_read = None
+                return
+        self._waiting_read = None
+        self._advance()
+
+    def _advance(self) -> None:
+        state = self.state
+        for transition in state.transitions:
+            if transition.guard is None or self.evaluate(transition.guard):
+                if transition.target == self.fsm.initial:
+                    self.stats.rounds_completed += 1
+                self.state_name = transition.target
+                return
+        # A state with no matching transition holds (terminal wait state).
+        self.stats.stall_cycles += 1

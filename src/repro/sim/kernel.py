@@ -1,0 +1,117 @@
+"""Two-phase cycle simulation kernel.
+
+Each cycle:
+
+1. every thread executor runs phase 1 (register work / request submission);
+2. every memory controller arbitrates its pending requests;
+3. every executor runs phase 2 (absorb grants, advance or hold);
+4. registered per-cycle hooks fire (traffic injection, probes, VCD dump).
+
+The kernel is deliberately synchronous and deterministic: given the same
+seeded traffic, two runs produce identical traces — which is what lets the
+benchmarks measure the *controllers'* (non-)determinism rather than the
+simulator's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.controller import MemResult, MemoryController
+from .executor import ThreadExecutor
+
+#: A per-cycle hook: receives the cycle number and the kernel.
+CycleHook = Callable[[int, "SimulationKernel"], None]
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run."""
+
+    cycles_run: int
+    executor_stats: dict[str, object] = field(default_factory=dict)
+    controller_samples: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"simulated {self.cycles_run} cycles"]
+        for thread, stats in sorted(self.executor_stats.items()):
+            lines.append(
+                f"  {thread}: {stats.cycles} cycles, "
+                f"{stats.stall_cycles} stalled "
+                f"({100 * stats.utilization:.0f}% busy), "
+                f"{stats.rounds_completed} rounds"
+            )
+        return "\n".join(lines)
+
+
+class SimulationKernel:
+    """Drives executors and controllers through the two-phase protocol."""
+
+    def __init__(
+        self,
+        executors: dict[str, ThreadExecutor],
+        controllers: dict[str, MemoryController],
+    ):
+        self.executors = executors
+        self.controllers = controllers
+        self.cycle = 0
+        self._pre_hooks: list[CycleHook] = []
+        self._post_hooks: list[CycleHook] = []
+
+    def add_pre_cycle_hook(self, hook: CycleHook) -> None:
+        """Runs before phase 1 (e.g. traffic injection)."""
+        self._pre_hooks.append(hook)
+
+    def add_post_cycle_hook(self, hook: CycleHook) -> None:
+        """Runs after phase 2 (e.g. probes, VCD sampling)."""
+        self._post_hooks.append(hook)
+
+    def step(self) -> dict[str, dict[str, MemResult]]:
+        """Advance the whole design by one clock cycle."""
+        for hook in self._pre_hooks:
+            hook(self.cycle, self)
+
+        for executor in self.executors.values():
+            executor.phase1(self.cycle)
+
+        results: dict[str, dict[str, MemResult]] = {}
+        for bram_name, controller in self.controllers.items():
+            results[bram_name] = controller.arbitrate(self.cycle)
+
+        for executor in self.executors.values():
+            executor.phase2(results)
+
+        for hook in self._post_hooks:
+            hook(self.cycle, self)
+
+        self.cycle += 1
+        return results
+
+    def run(
+        self,
+        cycles: int,
+        until: Optional[Callable[["SimulationKernel"], bool]] = None,
+    ) -> SimulationResult:
+        """Run for ``cycles`` clock cycles (or until the predicate holds)."""
+        for __ in range(cycles):
+            self.step()
+            if until is not None and until(self):
+                break
+        return SimulationResult(
+            cycles_run=self.cycle,
+            executor_stats={
+                name: executor.stats
+                for name, executor in self.executors.items()
+            },
+            controller_samples={
+                name: len(controller.latency_samples)
+                for name, controller in self.controllers.items()
+            },
+        )
+
+    def reset(self) -> None:
+        """Reset controllers (executor state is rebuilt by the caller)."""
+        self.cycle = 0
+        for controller in self.controllers.values():
+            controller.reset()

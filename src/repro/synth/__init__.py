@@ -1,0 +1,79 @@
+"""Behavioral synthesis: hic threads to cycle-accurate FSMs.
+
+* :mod:`~repro.synth.schedule` — dataflow graphs with ASAP/ALAP/list
+  scheduling (the classic behavioral-synthesis steps the paper cites);
+* :mod:`~repro.synth.fsm` — FSMD construction with per-state memory-access
+  micro-ops, the synchronization points the memory controllers guard;
+* :mod:`~repro.synth.binding` — datapath resource binding, feeding the
+  FPGA area model.
+"""
+
+from .binding import (
+    DatapathSummary,
+    FunctionalUnit,
+    RegisterBinding,
+    bind_program,
+    bind_thread,
+)
+from .fsm import (
+    ComputeOp,
+    FsmBuilder,
+    MemReadOp,
+    MemWriteOp,
+    MicroOp,
+    ReceiveOp,
+    State,
+    ThreadFsm,
+    Transition,
+    TransmitOp,
+    message_words,
+    synthesize_program,
+    synthesize_thread,
+)
+from .optimize import (
+    collapse_passthrough_states,
+    eliminate_dead_states,
+    optimize_fsm,
+    pack_compute_states,
+)
+from .schedule import (
+    DEFAULT_RESOURCES,
+    DataflowGraph,
+    DfgNode,
+    build_expr_dfg,
+    build_statement_dfg,
+    expression_depth,
+    op_class,
+)
+
+__all__ = [
+    "collapse_passthrough_states",
+    "eliminate_dead_states",
+    "optimize_fsm",
+    "pack_compute_states",
+    "DatapathSummary",
+    "FunctionalUnit",
+    "RegisterBinding",
+    "bind_program",
+    "bind_thread",
+    "ComputeOp",
+    "FsmBuilder",
+    "MemReadOp",
+    "MemWriteOp",
+    "MicroOp",
+    "ReceiveOp",
+    "State",
+    "ThreadFsm",
+    "Transition",
+    "TransmitOp",
+    "message_words",
+    "synthesize_program",
+    "synthesize_thread",
+    "DEFAULT_RESOURCES",
+    "DataflowGraph",
+    "DfgNode",
+    "build_expr_dfg",
+    "build_statement_dfg",
+    "expression_depth",
+    "op_class",
+]

@@ -1,0 +1,241 @@
+"""Datapath resource binding.
+
+After scheduling, behavioral synthesis binds operations to functional units
+and variables to registers.  The binding summary produced here is what the
+FPGA area model charges for each thread's datapath: functional units, the
+register file, and the multiplexing needed to steer operands into shared
+units.
+
+Register sharing: variables whose live ranges never overlap (per
+:mod:`repro.analysis.lifetime`) can share one physical register, the
+classic left-edge allocation.  ``bind_thread(..., share_registers=True)``
+applies it; the default keeps one register per variable (simpler RTL, the
+generator's baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.lifetime import thread_lifetimes
+from ..hic import ast
+from ..hic.semantic import CheckedProgram, SymbolKind
+from ..memory.allocation import MemoryMap, Residency
+from .fsm import ComputeOp, MemReadOp, MemWriteOp, ThreadFsm
+from .schedule import op_class
+
+
+@dataclass
+class FunctionalUnit:
+    """One bound functional unit and the operations sharing it."""
+
+    kind: str            # alu / mul / cmp / call
+    width: int
+    operations: list[str] = field(default_factory=list)
+
+    @property
+    def mux_inputs(self) -> int:
+        """Operand sources multiplexed into this unit (2 per operation)."""
+        return max(2, 2 * len(self.operations))
+
+
+@dataclass
+class RegisterBinding:
+    """One datapath register; ``occupants`` lists the variables sharing it
+    (singleton unless register sharing merged disjoint live ranges)."""
+
+    name: str
+    width: int
+    occupants: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.occupants:
+            self.occupants = (self.name,)
+
+
+@dataclass
+class DatapathSummary:
+    """The bound datapath of one thread, consumed by the area model."""
+
+    thread: str
+    units: list[FunctionalUnit] = field(default_factory=list)
+    registers: list[RegisterBinding] = field(default_factory=list)
+    state_bits: int = 1
+    memory_ports_used: set[str] = field(default_factory=set)
+
+    @property
+    def register_bits(self) -> int:
+        return sum(reg.width for reg in self.registers)
+
+    def unit_count(self, kind: str) -> int:
+        return sum(1 for unit in self.units if unit.kind == kind)
+
+    @property
+    def total_mux_inputs(self) -> int:
+        return sum(unit.mux_inputs for unit in self.units)
+
+
+def _expr_operations(expr: ast.Expr) -> list[tuple[str, str]]:
+    """(resource class, label) of every operation in an expression."""
+    ops: list[tuple[str, str]] = []
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Binary):
+            ops.append((op_class(node.op), node.op))
+        elif isinstance(node, ast.Unary):
+            ops.append((op_class(node.op), node.op))
+        elif isinstance(node, ast.Conditional):
+            ops.append(("alu", "?:"))
+        elif isinstance(node, ast.Call):
+            ops.append(("call", node.callee))
+    return ops
+
+
+def bind_thread(
+    checked: CheckedProgram,
+    memory_map: MemoryMap,
+    fsm: ThreadFsm,
+    share_registers: bool = False,
+) -> DatapathSummary:
+    """Bind one synthesized thread's datapath.
+
+    Binding policy: operations of the same class in *different* states can
+    share one unit (they are mutually exclusive in time); the unit count of
+    a class is therefore the maximum number of that class used in any
+    single state, and sharing across states adds multiplexer inputs.
+    With ``share_registers``, variables with disjoint live ranges share
+    physical registers (left-edge allocation over the lifetime analysis).
+    """
+    summary = DatapathSummary(thread=fsm.thread, state_bits=fsm.state_bits())
+
+    # Per-state operation demand.
+    per_state_ops: list[list[tuple[str, str]]] = []
+    for state in fsm.states.values():
+        state_ops: list[tuple[str, str]] = []
+        for op in state.ops:
+            if isinstance(op, ComputeOp):
+                state_ops.extend(_expr_operations(op.expr))
+            elif isinstance(op, MemWriteOp):
+                state_ops.extend(_expr_operations(op.value_expr))
+                if op.offset_expr is not None:
+                    state_ops.extend(_expr_operations(op.offset_expr))
+                    state_ops.append(("alu", "+addr"))
+                summary.memory_ports_used.add(op.port)
+            elif isinstance(op, MemReadOp):
+                if op.offset_expr is not None:
+                    state_ops.extend(_expr_operations(op.offset_expr))
+                    state_ops.append(("alu", "+addr"))
+                summary.memory_ports_used.add(op.port)
+        per_state_ops.append(state_ops)
+
+    # Unit count per class = max concurrent demand in one state.
+    kinds = sorted({kind for ops in per_state_ops for kind, __ in ops})
+    for kind in kinds:
+        demand = max(
+            sum(1 for k, __ in ops if k == kind) for ops in per_state_ops
+        )
+        shared_labels: list[list[str]] = [[] for __ in range(demand)]
+        for ops in per_state_ops:
+            slot = 0
+            for k, label in ops:
+                if k == kind:
+                    shared_labels[slot % demand].append(label)
+                    slot += 1
+        for labels in shared_labels:
+            if labels:
+                summary.units.append(
+                    FunctionalUnit(kind=kind, width=32, operations=labels)
+                )
+
+    # Registers: thread-local register-resident variables plus load temps.
+    scope = checked.scopes[fsm.thread]
+    candidates: list[tuple[str, int]] = []
+    for name, symbol in sorted(scope.symbols.items()):
+        if symbol.kind in (SymbolKind.CONSTANT, SymbolKind.SHARED):
+            continue
+        placement = memory_map.placements.get((fsm.thread, name))
+        if placement is not None and placement.residency is Residency.REGISTER:
+            candidates.append((name, symbol.hic_type.bit_width))
+
+    if share_registers and len(candidates) > 1:
+        summary.registers.extend(
+            _share_registers(checked, fsm.thread, candidates)
+        )
+    else:
+        summary.registers.extend(
+            RegisterBinding(name=name, width=width)
+            for name, width in candidates
+        )
+
+    temps: set[str] = set()
+    for state in fsm.states.values():
+        for op in state.ops:
+            if isinstance(op, MemReadOp):
+                temps.add(op.dest)
+    for temp in sorted(temps):
+        # Load registers mirror a BRAM word (36 bits max, typically 32).
+        summary.registers.append(RegisterBinding(name=temp, width=32))
+
+    return summary
+
+
+def _share_registers(
+    checked: CheckedProgram,
+    thread_name: str,
+    candidates: list[tuple[str, int]],
+) -> list[RegisterBinding]:
+    """Left-edge register allocation over disjoint live ranges."""
+    thread = checked.program.thread(thread_name)
+    lifetimes = thread_lifetimes(thread)
+    widths = dict(candidates)
+
+    # Sort by live-range start; greedily drop each variable into the first
+    # register whose current occupants all end before it starts.
+    ordered = sorted(
+        (name for name, __ in candidates),
+        key=lambda n: (
+            lifetimes.ranges[n].start if n in lifetimes.ranges else 0,
+            n,
+        ),
+    )
+    groups: list[list[str]] = []
+    group_end: list[int] = []
+    for name in ordered:
+        live = lifetimes.ranges.get(name)
+        if live is None:
+            # Declared but never touched: zero-length range at 0.
+            start, end = 0, 0
+        else:
+            start, end = live.start, live.end
+        placed = False
+        for i, current_end in enumerate(group_end):
+            if current_end < start:
+                groups[i].append(name)
+                group_end[i] = end
+                placed = True
+                break
+        if not placed:
+            groups.append([name])
+            group_end.append(end)
+
+    bindings = []
+    for i, occupants in enumerate(groups):
+        width = max(widths[name] for name in occupants)
+        label = occupants[0] if len(occupants) == 1 else f"shared{i}"
+        bindings.append(
+            RegisterBinding(
+                name=label, width=width, occupants=tuple(occupants)
+            )
+        )
+    return bindings
+
+
+def bind_program(
+    checked: CheckedProgram,
+    memory_map: MemoryMap,
+    fsms: dict[str, ThreadFsm],
+) -> dict[str, DatapathSummary]:
+    """Bind every thread's datapath."""
+    return {
+        name: bind_thread(checked, memory_map, fsm)
+        for name, fsm in fsms.items()
+    }

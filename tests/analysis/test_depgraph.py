@@ -1,0 +1,97 @@
+"""Unit tests for the inter-thread dependency graph."""
+
+import pytest
+
+from repro.analysis import DependencyGraph
+from repro.hic import analyze
+from tests.conftest import make_fanout_source
+
+
+def graph_of(checked):
+    return DependencyGraph.build(
+        checked.dependencies, checked.program.thread_names()
+    )
+
+
+class TestBuild:
+    def test_figure1_nodes_edges(self, figure1_checked):
+        graph = graph_of(figure1_checked)
+        assert graph.threads == {"t1", "t2", "t3"}
+        assert len(graph.edges) == 2
+
+    def test_isolated_thread_kept(self):
+        checked = analyze(
+            """
+            thread a () { int p, t;
+              #consumer{d,[b,v]}
+              p = f(t);
+            }
+            thread b () { int v;
+              #producer{d,[a,p]}
+              v = g(p);
+            }
+            thread idle () { int w; w = 0; }
+            """
+        )
+        graph = graph_of(checked)
+        assert "idle" in graph.threads
+
+
+class TestQueries:
+    def test_successors(self, figure1_checked):
+        graph = graph_of(figure1_checked)
+        assert graph.successors("t1") == ["t2", "t3"]
+
+    def test_predecessors(self, figure1_checked):
+        graph = graph_of(figure1_checked)
+        assert graph.predecessors("t2") == ["t1"]
+        assert graph.predecessors("t1") == []
+
+    def test_produced_consumed_by(self, figure1_checked):
+        graph = graph_of(figure1_checked)
+        assert [d.dep_id for d in graph.produced_by("t1")] == ["mt1"]
+        assert [d.dep_id for d in graph.consumed_by("t3")] == ["mt1"]
+
+    def test_fan_out(self, figure1_checked):
+        graph = graph_of(figure1_checked)
+        assert graph.fan_out("mt1") == 2
+        assert graph.max_fan_out() == 2
+
+    @pytest.mark.parametrize("consumers", [2, 4, 8])
+    def test_paper_scenario_fanout(self, consumers):
+        checked = analyze(make_fanout_source(consumers))
+        graph = graph_of(checked)
+        assert graph.max_fan_out() == consumers
+
+    def test_empty_graph_max_fanout(self):
+        graph = DependencyGraph.build([], ["a"])
+        assert graph.max_fan_out() == 0
+
+
+class TestStructure:
+    def test_figure1_acyclic(self, figure1_checked):
+        graph = graph_of(figure1_checked)
+        assert graph.thread_cycles() == []
+
+    def test_layers(self, pipeline_checked):
+        graph = graph_of(pipeline_checked)
+        layers = graph.topological_layers()
+        assert layers == [["stage1"], ["stage2"], ["stage3"]]
+
+    def test_cycle_detected(self, deadlock_source):
+        checked = analyze(deadlock_source)
+        graph = graph_of(checked)
+        cycles = graph.thread_cycles()
+        assert cycles
+        assert set(cycles[0]) == {"ta", "tb"}
+
+    def test_topological_raises_on_cycle(self, deadlock_source):
+        checked = analyze(deadlock_source)
+        graph = graph_of(checked)
+        with pytest.raises(ValueError):
+            graph.topological_layers()
+
+    def test_to_dot_mentions_edges(self, figure1_checked):
+        dot = graph_of(figure1_checked).to_dot()
+        assert '"t1" -> "t2"' in dot
+        assert "mt1:x1" in dot

@@ -1,0 +1,95 @@
+"""Unit tests for lifetime analysis and memory-size estimation."""
+
+from repro.analysis import (
+    dependency_footprint,
+    storage_requirements,
+    thread_lifetimes,
+    total_bits,
+)
+from repro.hic import analyze, parse
+
+
+def lifetimes_of(source):
+    program = parse(source)
+    return thread_lifetimes(program.threads[0])
+
+
+class TestLiveRanges:
+    def test_simple_range(self):
+        lt = lifetimes_of("thread t () { int x, y; x = 1; y = x; }")
+        assert lt.ranges["x"].start == 0
+        assert lt.ranges["x"].end == 1
+
+    def test_write_only_variable_stays_live(self):
+        # A variable never read locally is externally consumed: live to end.
+        lt = lifetimes_of("thread t () { int x, y; x = 1; y = 2; y = y; }")
+        assert lt.ranges["x"].end == 2
+
+    def test_overlap_detection(self):
+        lt = lifetimes_of("thread t () { int x, y; x = 1; y = x; y = y + x; }")
+        assert lt.ranges["x"].overlaps(lt.ranges["y"])
+
+    def test_disjoint_ranges(self):
+        lt = lifetimes_of(
+            "thread t () { int a, b, c; a = 1; c = a; b = 2; c = b; }"
+        )
+        pairs = lt.disjoint_pairs()
+        assert ("a", "b") in pairs
+
+    def test_interfering_pairs(self):
+        lt = lifetimes_of("thread t () { int x, y; x = 1; y = x; y = y + x; }")
+        assert ("x", "y") in lt.interfering_pairs()
+
+    def test_span(self):
+        lt = lifetimes_of("thread t () { int x, y; x = 1; y = 2; y = x; }")
+        assert lt.ranges["x"].span == 3
+
+
+class TestStorage:
+    def test_scalar_bits(self):
+        checked = analyze("thread t () { int x; char c; x = c; }")
+        reqs = {r.variable: r for r in storage_requirements(checked)}
+        assert reqs["x"].bits == 32
+        assert reqs["c"].bits == 8
+
+    def test_array_bits(self):
+        checked = analyze("thread t () { int a[16], i; i = a[0]; }")
+        reqs = {r.variable: r for r in storage_requirements(checked)}
+        assert reqs["a"].bits == 16 * 32
+
+    def test_message_bits(self):
+        checked = analyze("thread t () { message m; m.ttl = 1; }")
+        reqs = {r.variable: r for r in storage_requirements(checked)}
+        assert reqs["m"].bits == 160
+
+    def test_shared_import_not_double_counted(self, figure1_checked):
+        reqs = storage_requirements(figure1_checked)
+        x1_entries = [r for r in reqs if r.variable == "x1"]
+        assert len(x1_entries) == 1
+        assert x1_entries[0].thread == "t1"
+
+    def test_shared_endpoint_flag(self, figure1_checked):
+        reqs = {
+            (r.thread, r.variable): r for r in storage_requirements(figure1_checked)
+        }
+        assert reqs[("t1", "x1")].is_shared_endpoint
+        assert not reqs[("t1", "xtmp")].is_shared_endpoint
+
+    def test_total_bits(self, figure1_checked):
+        # 7 distinct int variables across the three threads.
+        assert total_bits(figure1_checked) == 7 * 32
+
+    def test_words18k_fraction(self):
+        checked = analyze("thread t () { int a[576]; a[0] = 1; }")
+        req = storage_requirements(checked)[0]
+        assert req.words18k == (576 * 32) / (18 * 1024)
+
+
+class TestDependencyFootprint:
+    def test_figure1_footprint(self, figure1_checked):
+        footprint = dependency_footprint(figure1_checked)
+        assert footprint == {"mt1": 32}
+
+    def test_pipeline_footprint(self, pipeline_checked):
+        footprint = dependency_footprint(pipeline_checked)
+        assert set(footprint) == {"d1", "d2"}

@@ -1,0 +1,72 @@
+"""Unit tests for the memory access and operation order graphs."""
+
+from repro.analysis import AccessKind, build_memory_graphs
+from repro.hic import analyze
+
+
+class TestOperationOrderGraph:
+    def test_figure1_operations(self, figure1_checked):
+        __, order = build_memory_graphs(figure1_checked)
+        writes = order.writes("x1")
+        reads = order.reads("x1")
+        assert [op.thread for op in writes] == ["t1"]
+        assert sorted(op.thread for op in reads) == ["t2", "t3"]
+
+    def test_program_order_within_thread(self, pipeline_checked):
+        __, order = build_memory_graphs(pipeline_checked)
+        ops = order.thread_operations("stage2")
+        first = [op for op in ops if op.statement_index == 0]
+        later = [op for op in ops if op.statement_index == 1]
+        assert first and later
+        assert order.precedes(first[0], later[0])
+
+    def test_no_order_across_threads(self, figure1_checked):
+        __, order = build_memory_graphs(figure1_checked)
+        w = order.writes("x1")[0]
+        r = order.reads("x1")[0]
+        assert not order.precedes(w, r)
+
+    def test_access_kinds(self, figure1_checked):
+        __, order = build_memory_graphs(figure1_checked)
+        kinds = {op.kind for op in order.variable_operations("x1")}
+        assert kinds == {AccessKind.READ, AccessKind.WRITE}
+
+
+class TestMemoryAccessGraph:
+    def test_sizes_recorded(self, figure1_checked):
+        access, __ = build_memory_graphs(figure1_checked)
+        assert access.sizes[("t1", "x1")] == 32
+
+    def test_shared_access_attributed_to_owner(self, figure1_checked):
+        access, __ = build_memory_graphs(figure1_checked)
+        # t2 and t3 read x1; those accesses count against t1's storage.
+        assert access.count("t1", "x1") >= 3  # 1 write + 2 consumer reads
+
+    def test_loop_weighting(self):
+        checked = analyze(
+            "thread t () { int i, s; s = 0; while (i) { s = s + 1; } }"
+        )
+        access, __ = build_memory_graphs(checked)
+        # s: write at depth 0 (1) + read+write at depth 1 (4+4)
+        assert access.count("t", "s") == 1 + 4 + 4
+
+    def test_affinity_between_covariables(self, figure1_checked):
+        access, __ = build_memory_graphs(figure1_checked)
+        a = ("t1", "x1")
+        b = ("t1", "xtmp")
+        assert access.affinity_between(a, b) >= 1
+
+    def test_no_affinity_between_unrelated(self, figure1_checked):
+        access, __ = build_memory_graphs(figure1_checked)
+        assert access.affinity_between(("t2", "y2"), ("t3", "z2")) == 0
+
+    def test_variables_listing(self, figure1_checked):
+        access, __ = build_memory_graphs(figure1_checked)
+        assert ("t1", "x1") in access.variables()
+
+    def test_constants_have_no_storage(self):
+        checked = analyze(
+            "#constant{host, 7}\nthread t () { int x; x = host; }"
+        )
+        access, __ = build_memory_graphs(checked)
+        assert all(var != "host" for (__, var) in access.variables())

@@ -1,0 +1,174 @@
+"""Unit tests for use-def analysis and dependency inference."""
+
+from repro.analysis import analyze_thread, infer_dependencies, linearize, use_def_chains
+from repro.hic import parse
+
+
+def thread_of(source, name=None):
+    program = parse(source)
+    return program.threads[0] if name is None else program.thread(name)
+
+
+class TestLinearize:
+    def test_simple_assignment(self):
+        thread = thread_of("thread t () { int x, y; x = y + 1; }")
+        infos = linearize(thread)
+        assert len(infos) == 1
+        assert infos[0].defs == frozenset({"x"})
+        assert infos[0].uses == frozenset({"y"})
+
+    def test_compound_assignment_reads_target(self):
+        thread = thread_of("thread t () { int x; x += 1; }")
+        infos = linearize(thread)
+        assert "x" in infos[0].uses
+        assert "x" in infos[0].defs
+
+    def test_array_store_reads_index_and_target(self):
+        thread = thread_of("thread t () { int a[4], i, v; a[i] = v; }")
+        infos = linearize(thread)
+        assert infos[0].defs == frozenset({"a"})
+        assert {"i", "v", "a"} <= set(infos[0].uses)
+
+    def test_if_condition_is_a_use(self):
+        thread = thread_of("thread t () { int x, y; if (x > 0) { y = 1; } }")
+        infos = linearize(thread)
+        assert infos[0].uses == frozenset({"x"})
+        assert infos[1].defs == frozenset({"y"})
+
+    def test_loop_depth_recorded(self):
+        thread = thread_of(
+            "thread t () { int i, s; while (i) { s = s + 1; } }"
+        )
+        infos = linearize(thread)
+        body = [info for info in infos if "s" in info.defs]
+        assert body[0].loop_depth == 1
+
+    def test_nested_loop_depth(self):
+        thread = thread_of(
+            "thread t () { int i, j, s; "
+            "while (i) { while (j) { s = s + 1; } } }"
+        )
+        infos = linearize(thread)
+        inner = [info for info in infos if "s" in info.defs]
+        assert inner[0].loop_depth == 2
+
+    def test_receive_defines_target(self):
+        thread = thread_of(
+            "#interface{e, gige}\nthread t () { message m; receive(m, e); }"
+        )
+        infos = linearize(thread)
+        assert infos[0].defs == frozenset({"m"})
+
+    def test_transmit_uses_source(self):
+        thread = thread_of(
+            "#interface{e, gige}\n"
+            "thread t () { message m; receive(m, e); transmit(m, e); }"
+        )
+        infos = linearize(thread)
+        assert infos[1].uses == frozenset({"m"})
+
+    def test_for_loop_parts(self):
+        thread = thread_of(
+            "thread t () { int i, s; for (i = 0; i < 4; i = i + 1) { s += i; } }"
+        )
+        infos = linearize(thread)
+        # init defines i; condition uses i; body and step inside loop
+        assert infos[0].defs == frozenset({"i"})
+        assert any(info.loop_depth == 1 for info in infos)
+
+    def test_indices_are_sequential(self):
+        thread = thread_of("thread t () { int a, b; a = 1; b = 2; a = b; }")
+        infos = linearize(thread)
+        assert [info.index for info in infos] == [0, 1, 2]
+
+
+class TestThreadUseDef:
+    def test_all_defs_uses(self):
+        facts = analyze_thread(
+            thread_of("thread t () { int x, y, z; x = y; z = x; }")
+        )
+        assert facts.all_defs == {"x", "z"}
+        assert facts.all_uses == {"y", "x"}
+
+    def test_first_def_last_use(self):
+        facts = analyze_thread(
+            thread_of("thread t () { int x, y; x = 1; y = x; y = x + 1; }")
+        )
+        assert facts.first_def_index("x") == 0
+        assert facts.last_use_index("x") == 2
+        assert facts.first_def_index("nothere") is None
+
+    def test_access_count_weights_loops(self):
+        facts = analyze_thread(
+            thread_of("thread t () { int i, s; s = 0; while (i) { s = s + 1; } }")
+        )
+        # s accessed once at depth 0 (weight 1) and once at depth 1 (weight 4)
+        assert facts.access_count("s") == 1 + 4
+
+    def test_definitions_and_uses_of(self):
+        facts = analyze_thread(
+            thread_of("thread t () { int x, y; x = 1; y = x; }")
+        )
+        assert len(facts.definitions_of("x")) == 1
+        assert len(facts.uses_of("x")) == 1
+
+
+class TestUseDefChains:
+    def test_straight_line_chain(self):
+        thread = thread_of("thread t () { int x, y; x = 1; y = x; }")
+        chains = use_def_chains(thread)
+        assert chains[(1, "x")] == [0]
+
+    def test_multiple_reaching_defs(self):
+        thread = thread_of(
+            "thread t () { int x, y, c; x = 1; if (c) { x = 2; } y = x; }"
+        )
+        chains = use_def_chains(thread)
+        use_key = [k for k in chains if k[1] == "x" and k[0] > 1]
+        defs = chains[use_key[-1]]
+        assert len(defs) == 2
+
+    def test_loop_back_edge_definition_reaches(self):
+        thread = thread_of(
+            "thread t () { int i; while (i < 4) { i = i + 1; } }"
+        )
+        chains = use_def_chains(thread)
+        # The use of i inside the loop body sees the back-edge definition.
+        in_loop = [(k, v) for k, v in chains.items() if k[1] == "i" and v]
+        assert any(any(d >= k[0] for d in v) for k, v in in_loop)
+
+
+class TestInference:
+    def test_figure1_like_inference_without_pragmas(self):
+        # Threads share variable names; writer t1, readers t2/t3.
+        source = """
+        thread t1 () { int x1, a; x1 = f(a); }
+        thread t2 () { int y1; y1 = g(x1); }
+        thread t3 () { int z1; z1 = h(x1); }
+        """
+        deps = infer_dependencies(parse(source))
+        by_var = {d.producer_var: d for d in deps}
+        assert "x1" in by_var
+        dep = by_var["x1"]
+        assert dep.producer_thread == "t1"
+        assert set(dep.consumer_threads()) == {"t2", "t3"}
+
+    def test_multi_writer_variable_skipped(self):
+        source = """
+        thread a () { int s; s = 1; }
+        thread b () { int q; s = 2; q = s; }
+        """
+        deps = infer_dependencies(parse(source))
+        assert all(d.producer_var != "s" for d in deps)
+
+    def test_private_variable_not_inferred(self):
+        source = "thread a () { int s, q; s = 1; q = s; }"
+        assert infer_dependencies(parse(source)) == []
+
+    def test_inferred_ids_are_stable(self):
+        source = """
+        thread t1 () { int x, a; x = f(a); }
+        thread t2 () { int y; y = g(x); }
+        """
+        deps = infer_dependencies(parse(source))
+        assert deps[0].dep_id == "auto_x"

@@ -1,0 +1,143 @@
+"""Shared fixtures: reference hic programs used across the test suite."""
+
+import pytest
+
+#: The paper's Figure 1 example, verbatim modulo whitespace.
+FIGURE1_SOURCE = """
+thread t1 () {
+  int x1, xtmp, x2;
+  #consumer{mt1,[t2,y1],[t3,z1]}
+  x1 = f(xtmp, x2);
+}
+
+thread t2 () {
+  int y1, y2;
+  #producer{mt1,[t1,x1]}
+  y1 = g(x1, y2);
+}
+
+thread t3 () {
+  int z1, z2;
+  #producer{mt1,[t1,x1]}
+  z1 = h(x1, z2);
+}
+"""
+
+
+def make_fanout_source(consumers: int) -> str:
+    """A single producer feeding ``consumers`` consumer threads — the
+    scenario family of the paper's evaluation (1/2, 1/4, 1/8)."""
+    parts = ["thread producer () {", "  int shared, tmp;"]
+    links = ", ".join(f"[c{i},v{i}]" for i in range(consumers))
+    parts.append(f"  #consumer{{d0,{links}}}")
+    parts.append("  shared = f(tmp);")
+    parts.append("}")
+    for i in range(consumers):
+        parts.extend(
+            [
+                f"thread c{i} () {{",
+                f"  int v{i}, w{i};",
+                "  #producer{d0,[producer,shared]}",
+                f"  v{i} = g(shared, w{i});",
+                "}",
+            ]
+        )
+    return "\n".join(parts)
+
+
+#: A two-dependency pipeline: stage1 -> stage2 -> stage3.
+PIPELINE_SOURCE = """
+thread stage1 () {
+  int a, raw;
+  #consumer{d1,[stage2,b]}
+  a = f(raw);
+}
+
+thread stage2 () {
+  int b, scratch;
+  #producer{d1,[stage1,a]}
+  b = g(a, scratch);
+  #consumer{d2,[stage3,c]}
+  b = h(b);
+}
+
+thread stage3 () {
+  int c, out;
+  #producer{d2,[stage2,b]}
+  c = f(b);
+  out = c + 1;
+}
+"""
+
+#: A cyclic dependency where each thread blocks before it produces: deadlock.
+DEADLOCK_SOURCE = """
+thread ta () {
+  int pa, va;
+  #producer{db,[tb,pb]}
+  va = f(pb);
+  #consumer{da,[tb,vb]}
+  pa = g(va);
+}
+
+thread tb () {
+  int pb, vb;
+  #producer{da,[ta,pa]}
+  vb = f(pa);
+  #consumer{db,[ta,va]}
+  pb = g(vb);
+}
+"""
+
+#: A cyclic thread graph that is NOT a deadlock: each thread produces
+#: before it consumes, so the cross edges are satisfiable.
+CYCLE_NO_DEADLOCK_SOURCE = """
+thread ta () {
+  int pa, va;
+  #consumer{da,[tb,vb]}
+  pa = g(va);
+  #producer{db,[tb,pb]}
+  va = f(pb);
+}
+
+thread tb () {
+  int pb, vb;
+  #consumer{db,[ta,va]}
+  pb = g(vb);
+  #producer{da,[ta,pa]}
+  vb = f(pa);
+}
+"""
+
+
+@pytest.fixture
+def figure1_source():
+    return FIGURE1_SOURCE
+
+
+@pytest.fixture
+def pipeline_source():
+    return PIPELINE_SOURCE
+
+
+@pytest.fixture
+def deadlock_source():
+    return DEADLOCK_SOURCE
+
+
+@pytest.fixture
+def cycle_no_deadlock_source():
+    return CYCLE_NO_DEADLOCK_SOURCE
+
+
+@pytest.fixture
+def figure1_checked(figure1_source):
+    from repro.hic import analyze
+
+    return analyze(figure1_source)
+
+
+@pytest.fixture
+def pipeline_checked(pipeline_source):
+    from repro.hic import analyze
+
+    return analyze(pipeline_source)

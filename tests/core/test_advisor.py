@@ -1,0 +1,57 @@
+"""Unit tests for the organization advisor (§4 guidance)."""
+
+from repro.core import DesignConstraints, Organization, recommend
+
+
+class TestRecommendations:
+    def test_default_is_arbitrated(self):
+        rec = recommend(DesignConstraints())
+        assert rec.organization is Organization.ARBITRATED
+        assert rec.reasons
+
+    def test_tight_timing_prefers_event_driven(self):
+        rec = recommend(DesignConstraints(timing_slack=0.8))
+        assert rec.organization is Organization.EVENT_DRIVEN
+
+    def test_determinism_prefers_event_driven(self):
+        rec = recommend(DesignConstraints(need_deterministic_latency=True))
+        assert rec.organization is Organization.EVENT_DRIVEN
+
+    def test_scalability_prefers_arbitrated(self):
+        rec = recommend(
+            DesignConstraints(timing_slack=1.5, expect_new_consumers=True)
+        )
+        assert rec.organization is Organization.ARBITRATED
+
+    def test_scalability_outweighs_mild_determinism_pressure(self):
+        rec = recommend(
+            DesignConstraints(
+                timing_slack=1.5,
+                expect_new_consumers=True,
+                reuse_bus_style_clients=True,
+            )
+        )
+        assert rec.organization is Organization.ARBITRATED
+
+    def test_determinism_plus_tight_timing_beats_scalability(self):
+        rec = recommend(
+            DesignConstraints(
+                timing_slack=0.8,
+                need_deterministic_latency=True,
+                expect_new_consumers=True,
+            )
+        )
+        assert rec.organization is Organization.EVENT_DRIVEN
+
+    def test_explain_mentions_organization(self):
+        text = recommend(DesignConstraints(timing_slack=0.5)).explain()
+        assert "event_driven" in text
+
+    def test_reasons_cite_paper_sections(self):
+        rec = recommend(
+            DesignConstraints(
+                need_deterministic_latency=True, expect_new_consumers=True
+            )
+        )
+        joined = " ".join(rec.reasons)
+        assert "§3.2" in joined

@@ -1,0 +1,63 @@
+"""Unit tests for the content-addressable memory."""
+
+import pytest
+
+from repro.core import ContentAddressableMemory
+
+
+class TestCam:
+    def test_search_empty_misses(self):
+        cam = ContentAddressableMemory(entries=4, key_bits=9)
+        assert cam.search(0) is None
+
+    def test_write_then_search(self):
+        cam = ContentAddressableMemory(entries=4, key_bits=9)
+        cam.write(2, key=17, value=3)
+        assert cam.search(17) == 2
+        assert cam.value_at(2) == 3
+
+    def test_key_truncated_to_width(self):
+        cam = ContentAddressableMemory(entries=2, key_bits=4)
+        cam.write(0, key=0x1F, value=1)  # truncates to 0xF
+        assert cam.search(0xF) == 0
+
+    def test_first_match_wins(self):
+        cam = ContentAddressableMemory(entries=4, key_bits=9)
+        cam.write(1, key=5)
+        cam.write(3, key=5)
+        assert cam.search(5) == 1
+
+    def test_invalidate(self):
+        cam = ContentAddressableMemory(entries=2, key_bits=9)
+        cam.write(0, key=7)
+        cam.invalidate(0)
+        assert cam.search(7) is None
+
+    def test_value_at_invalid_row_raises(self):
+        cam = ContentAddressableMemory(entries=2, key_bits=9)
+        with pytest.raises(ValueError):
+            cam.value_at(0)
+
+    def test_row_bounds_checked(self):
+        cam = ContentAddressableMemory(entries=2, key_bits=9)
+        with pytest.raises(IndexError):
+            cam.write(2, key=0)
+        with pytest.raises(IndexError):
+            cam.invalidate(-1)
+
+    def test_occupancy(self):
+        cam = ContentAddressableMemory(entries=4, key_bits=9)
+        cam.write(0, key=1)
+        cam.write(1, key=2)
+        assert cam.occupancy() == 2
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            ContentAddressableMemory(entries=0, key_bits=9)
+        with pytest.raises(ValueError):
+            ContentAddressableMemory(entries=1, key_bits=0)
+
+    def test_sizing_properties(self):
+        cam = ContentAddressableMemory(entries=8, key_bits=9)
+        assert cam.comparator_bits == 72
+        assert cam.storage_bits == 8 * 10

@@ -1,0 +1,114 @@
+"""Additional hic language-surface tests: unions, literals, idioms."""
+
+import pytest
+
+from repro.flow import build_simulation, compile_design
+from repro.hic import analyze, parse
+
+
+class TestUnionTypes:
+    def test_union_variable_in_program(self):
+        source = """
+        type halfword : 16;
+        type cell = union(int, halfword);
+        thread t () { cell v; int x; v = 5; x = v + 1; }
+        """
+        checked = analyze(source)
+        assert checked.symbol("t", "v").hic_type.bit_width == 32
+
+    def test_union_simulates_as_widest_member(self):
+        source = """
+        type halfword : 16;
+        type cell = union(int, halfword);
+        thread t () { cell v; int x; v = 70000; x = v; }
+        """
+        design = compile_design(source)
+        sim = build_simulation(design)
+        sim.run(20)
+        assert sim.executors["t"].env["x"] == 70000
+
+    def test_union_of_unions(self):
+        source = """
+        type a : 4;
+        type b = union(a, char);
+        type c = union(b, int);
+        thread t () { c v; v = 1; }
+        """
+        checked = analyze(source)
+        assert checked.symbol("t", "v").hic_type.bit_width == 32
+
+
+class TestNarrowTypes:
+    def test_narrow_type_storage(self):
+        source = "type nibble : 4;\nthread t () { nibble n; n = 3; }"
+        checked = analyze(source)
+        assert checked.symbol("t", "n").storage_bits == 4
+
+    def test_narrow_type_in_arithmetic_widens(self):
+        source = (
+            "type nibble : 4;\n"
+            "thread t () { nibble n; int x; n = 3; x = n + 100; }"
+        )
+        design = compile_design(source)
+        sim = build_simulation(design)
+        sim.run(20)
+        assert sim.executors["t"].env["x"] == 103
+
+
+class TestLiteralForms:
+    @pytest.mark.parametrize(
+        "literal,expected",
+        [("0x10", 16), ("0b101", 5), ("0o17", 15), ("'A'", 65)],
+    )
+    def test_literal_values_through_simulation(self, literal, expected):
+        design = compile_design(f"thread t () {{ int x; x = {literal}; }}")
+        sim = build_simulation(design)
+        sim.run(10)
+        assert sim.executors["t"].env["x"] == expected
+
+    def test_hex_in_case_labels(self):
+        source = (
+            "thread t () { int s, out; s = 0x1F; "
+            "case (s) { of 0x1F: { out = 1; } default: { out = 2; } } }"
+        )
+        design = compile_design(source)
+        sim = build_simulation(design)
+        sim.run(20)
+        assert sim.executors["t"].env["out"] == 1
+
+
+class TestThreadParams:
+    def test_params_visible_and_default_zero(self):
+        source = "thread t (offset) { int x; x = offset + 5; }"
+        design = compile_design(source)
+        sim = build_simulation(design)
+        sim.run(10)
+        assert sim.executors["t"].env["x"] == 5
+
+    def test_params_settable_before_run(self):
+        source = "thread t (offset) { int x; x = offset + 5; }"
+        design = compile_design(source)
+        sim = build_simulation(design)
+        sim.executors["t"].env["offset"] = 100
+        sim.run(10)
+        assert sim.executors["t"].env["x"] == 105
+
+
+class TestDeclarationsInNestedBlocks:
+    def test_decl_inside_if_is_thread_scoped(self):
+        source = (
+            "thread t () { int c; if (c == 0) { int inner; inner = 7; } "
+            "c = 1; }"
+        )
+        checked = analyze(source)
+        assert "inner" in checked.scope("t").symbols
+
+    def test_nested_decl_simulates(self):
+        source = (
+            "thread t () { int c, out; "
+            "if (c == 0) { int inner; inner = 7; out = inner; } c = 1; }"
+        )
+        design = compile_design(source)
+        sim = build_simulation(design)
+        sim.run(30)
+        assert sim.executors["t"].env["out"] == 7

@@ -1,0 +1,184 @@
+"""Unit tests for producer/consumer pragma resolution."""
+
+import pytest
+
+from repro.hic import HicPragmaError, parse, resolve_dependencies
+from repro.hic.pragmas import ConsumerRef
+from tests.conftest import make_fanout_source
+
+
+def resolve(source):
+    return resolve_dependencies(parse(source))
+
+
+class TestFigure1:
+    def test_single_dependency(self, figure1_source):
+        deps = resolve(figure1_source)
+        assert len(deps) == 1
+
+    def test_dependency_fields(self, figure1_source):
+        dep = resolve(figure1_source)[0]
+        assert dep.dep_id == "mt1"
+        assert dep.producer_thread == "t1"
+        assert dep.producer_var == "x1"
+        assert dep.consumers == (
+            ConsumerRef("t2", "y1"),
+            ConsumerRef("t3", "z1"),
+        )
+
+    def test_dependency_number_matches_paper(self, figure1_source):
+        # Figure 1 has two consumers, so dn == 2.
+        assert resolve(figure1_source)[0].dependency_number == 2
+
+    def test_consumer_threads(self, figure1_source):
+        assert resolve(figure1_source)[0].consumer_threads() == ("t2", "t3")
+
+
+class TestFanoutScenarios:
+    @pytest.mark.parametrize("consumers", [2, 4, 8])
+    def test_paper_scenarios_resolve(self, consumers):
+        deps = resolve(make_fanout_source(consumers))
+        assert len(deps) == 1
+        assert deps[0].dependency_number == consumers
+
+
+class TestValidation:
+    def test_missing_consumer_statement(self):
+        source = """
+        thread a () { int p, t;
+          #consumer{d,[b,v]}
+          p = f(t);
+        }
+        thread b () { int v; v = 0; }
+        """
+        with pytest.raises(HicPragmaError, match="no consuming"):
+            resolve(source)
+
+    def test_missing_producer_statement(self):
+        source = """
+        thread a () { int p; p = 0; }
+        thread b () { int v;
+          #producer{d,[a,p]}
+          v = g(p);
+        }
+        """
+        with pytest.raises(HicPragmaError, match="no producing"):
+            resolve(source)
+
+    def test_unknown_thread_in_link(self):
+        source = """
+        thread a () { int p, t;
+          #consumer{d,[ghost,v]}
+          p = f(t);
+        }
+        """
+        with pytest.raises(HicPragmaError, match="unknown thread"):
+            resolve(source)
+
+    def test_mismatched_producer_link(self):
+        source = """
+        thread a () { int p, q, t;
+          #consumer{d,[b,v]}
+          p = f(t);
+        }
+        thread b () { int v;
+          #producer{d,[a,q]}
+          v = g(q);
+        }
+        """
+        with pytest.raises(HicPragmaError, match="names"):
+            resolve(source)
+
+    def test_consumer_must_read_produced_var(self):
+        source = """
+        thread a () { int p, t;
+          #consumer{d,[b,v]}
+          p = f(t);
+        }
+        thread b () { int v, w;
+          #producer{d,[a,p]}
+          v = g(w);
+        }
+        """
+        with pytest.raises(HicPragmaError, match="does not read"):
+            resolve(source)
+
+    def test_duplicate_producer_for_dep_id(self):
+        source = """
+        thread a () { int p, t;
+          #consumer{d,[b,v]}
+          p = f(t);
+          #consumer{d,[b,v]}
+          p = f(t);
+        }
+        thread b () { int v;
+          #producer{d,[a,p]}
+          v = g(p);
+        }
+        """
+        with pytest.raises(HicPragmaError, match="more than one producing"):
+            resolve(source)
+
+    def test_undeclared_consumer_endpoint(self):
+        source = """
+        thread a () { int p, t;
+          #consumer{d,[b,v]}
+          p = f(t);
+        }
+        thread b () { int v, w;
+          #producer{d,[a,p]}
+          v = g(p);
+          #producer{d,[a,p]}
+          w = g(p);
+        }
+        """
+        with pytest.raises(HicPragmaError, match="does not declare"):
+            resolve(source)
+
+    def test_producer_pragma_with_two_links_rejected(self):
+        source = """
+        thread a () { int p, t;
+          #consumer{d,[b,v]}
+          p = f(t);
+        }
+        thread b () { int v;
+          #producer{d,[a,p],[a,p]}
+          v = g(p);
+        }
+        """
+        with pytest.raises(HicPragmaError, match="exactly one"):
+            resolve(source)
+
+
+class TestMultipleDependencies:
+    def test_two_independent_dependencies(self, pipeline_source):
+        deps = resolve(pipeline_source)
+        assert sorted(d.dep_id for d in deps) == ["d1", "d2"]
+
+    def test_results_sorted_by_dep_id(self, pipeline_source):
+        deps = resolve(pipeline_source)
+        assert [d.dep_id for d in deps] == sorted(d.dep_id for d in deps)
+
+    def test_same_variable_two_dep_ids(self):
+        # Multiple dependencies on the same variable are distinguished by id,
+        # as the paper prescribes ("used to identify multiple dependencies on
+        # same variable in threads").
+        source = """
+        thread a () { int p, t;
+          #consumer{d1,[b,v]}
+          p = f(t);
+          #consumer{d2,[c,w]}
+          p = f(t);
+        }
+        thread b () { int v;
+          #producer{d1,[a,p]}
+          v = g(p);
+        }
+        thread c () { int w;
+          #producer{d2,[a,p]}
+          w = g(p);
+        }
+        """
+        deps = resolve(source)
+        assert len(deps) == 2
+        assert all(d.producer_var == "p" for d in deps)

@@ -1,0 +1,84 @@
+"""Integration: the event-driven organization's idle-producer stall.
+
+EXPERIMENTS.md documents this finding: with several producers
+modulo-scheduled on one BRAM, an idle producer stalls the whole schedule —
+consistent with §3.2's static model and the reason the paper's own
+evaluation uses a single producer per BRAM.  The arbitrated organization,
+being demand-driven, keeps the live pair running.
+
+The test gates one producer behind a network interface that never receives
+a packet.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+
+#: src0 free-runs; src1 blocks forever on an empty interface.
+IDLE_PRODUCER = """
+#interface{quiet, gige}
+
+thread src0 () {
+  int data0, seq0;
+  seq0 = seq0 + 1;
+  #consumer{d0,[sink0,v0]}
+  data0 = f(seq0);
+}
+thread sink0 () {
+  int v0;
+  #producer{d0,[src0,data0]}
+  v0 = g(data0);
+}
+
+thread src1 () {
+  message m;
+  int data1, t1;
+  receive(m, quiet);
+  t1 = m.payload;
+  #consumer{d1,[sink1,v1]}
+  data1 = f(t1);
+}
+thread sink1 () {
+  int v1;
+  #producer{d1,[src1,data1]}
+  v1 = g(data1);
+}
+"""
+
+
+def run(organization, cycles=600):
+    design = compile_design(IDLE_PRODUCER, organization=organization)
+    sim = build_simulation(design)
+    sim.run(cycles)
+    return sim
+
+
+class TestIdleProducerStall:
+    def test_arbitrated_live_pair_keeps_running(self):
+        sim = run(Organization.ARBITRATED)
+        assert sim.executors["sink0"].stats.rounds_completed > 10
+        assert sim.executors["sink1"].stats.rounds_completed == 0
+
+    def test_event_driven_schedule_stalls_everyone(self):
+        sim = run(Organization.EVENT_DRIVEN)
+        # The slot table order is d0's pair first, then d1's: src0's first
+        # write happens, sink0 reads once, then the schedule parks on
+        # src1's slot forever — at most one round leaks through.
+        assert sim.executors["sink0"].stats.rounds_completed <= 1
+        assert sim.executors["sink1"].stats.rounds_completed == 0
+
+    def test_stall_disappears_when_producer_fed(self):
+        design = compile_design(
+            IDLE_PRODUCER, organization=Organization.EVENT_DRIVEN
+        )
+        sim = build_simulation(design)
+
+        def feed(cycle, kernel):
+            if cycle % 10 == 0:
+                sim.rx["quiet"].push({"payload": cycle})
+
+        sim.kernel.add_pre_cycle_hook(feed)
+        sim.run(600)
+        assert sim.executors["sink0"].stats.rounds_completed > 5
+        assert sim.executors["sink1"].stats.rounds_completed > 5

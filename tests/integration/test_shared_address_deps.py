@@ -1,0 +1,118 @@
+"""Integration: multiple dependencies on a single address (§2/§3.1).
+
+"The additional identifier, mt1, in the pragmas is used to identify
+multiple dependencies on same variable in threads" and "for multiple
+producer-consumer dependencies on a single address, we store the
+associated dependency number in each producer thread."
+
+The program below produces the same variable twice per round under two
+dependency ids with different consumer sets; the dependency list must keep
+the two produce-consume cycles separate.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.memory import allocate
+from repro.memory.deplist import DependencyList
+from repro.sim import default_intrinsic
+
+TWO_DEPS_ONE_VAR = """
+thread a () {
+  int p, t;
+  t = t + 1;
+  #consumer{d1,[b,v]}
+  p = f(t);
+  #consumer{d2,[c,w]}
+  p = f2(t);
+}
+thread b () {
+  int v;
+  #producer{d1,[a,p]}
+  v = g(p);
+}
+thread c () {
+  int w;
+  #producer{d2,[a,p]}
+  w = g2(p);
+}
+"""
+
+
+class TestSharedAddressEntries:
+    def test_two_entries_same_address(self):
+        design = compile_design(TWO_DEPS_ONE_VAR)
+        deplist = design.deplists["bram0"]
+        assert len(deplist) == 2
+        addresses = {entry.base_address for entry in deplist.entries}
+        assert len(addresses) == 1  # both guard p's address
+
+    def test_match_for_write_selects_by_producer(self, figure1_checked):
+        design = compile_design(TWO_DEPS_ONE_VAR)
+        deplist = design.deplists["bram0"]
+        address = deplist.entries[0].base_address
+        entry = deplist.match_for_write(address, "a")
+        assert entry is not None
+        assert deplist.match_for_write(address, "ghost") is None
+
+    def test_match_for_read_selects_by_consumer(self):
+        design = compile_design(TWO_DEPS_ONE_VAR)
+        deplist = design.deplists["bram0"]
+        address = deplist.entries[0].base_address
+        entry_b = deplist.match_for_read(address, "b")
+        entry_c = deplist.match_for_read(address, "c")
+        assert entry_b is not None and entry_c is not None
+        assert entry_b.dep_id != entry_c.dep_id
+
+    def test_armed_entry_preferred_for_read(self):
+        design = compile_design(TWO_DEPS_ONE_VAR)
+        deplist = design.deplists["bram0"]
+        address = deplist.entries[0].base_address
+        # Arm d2 only; a read by c must resolve to the armed d2 entry.
+        deplist.entry_for("d2").outstanding = 1
+        assert deplist.match_for_read(address, "c").dep_id == "d2"
+
+
+class TestSharedAddressSimulation:
+    @pytest.mark.parametrize(
+        "organization",
+        [Organization.ARBITRATED, Organization.EVENT_DRIVEN],
+        ids=lambda o: o.value,
+    )
+    def test_both_consumers_progress(self, organization):
+        design = compile_design(TWO_DEPS_ONE_VAR, organization=organization)
+        sim = build_simulation(design)
+        sim.run(600)
+        assert sim.executors["b"].stats.rounds_completed > 0
+        assert sim.executors["c"].stats.rounds_completed > 0
+
+    def test_each_consumer_sees_its_own_produce(self):
+        # b consumes the d1 write (f), c consumes the d2 write (f2).
+        # Because the writes hit the same address back to back, b must
+        # read before the d2 write lands, which the guard serializes.
+        design = compile_design(TWO_DEPS_ONE_VAR)
+        sim = build_simulation(design)
+        sim.run(600)
+        f = default_intrinsic("f")
+        f2 = default_intrinsic("f2")
+        g = default_intrinsic("g")
+        g2 = default_intrinsic("g2")
+        v = sim.executors["b"].env["v"]
+        w = sim.executors["c"].env["w"]
+        # v is g(f(t)) and w is g2(f2(t)) for some round counters t;
+        # check membership over plausible rounds rather than a fixed t.
+        candidates_v = {g(f(t)) for t in range(1, 250)}
+        candidates_w = {g2(f2(t)) for t in range(1, 250)}
+        assert v in candidates_v
+        assert w in candidates_w
+
+    def test_round_counts_stay_balanced(self):
+        design = compile_design(TWO_DEPS_ONE_VAR)
+        sim = build_simulation(design)
+        sim.run(800)
+        rounds = [
+            sim.executors[name].stats.rounds_completed
+            for name in ("a", "b", "c")
+        ]
+        assert max(rounds) - min(rounds) <= 1

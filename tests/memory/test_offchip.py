@@ -1,0 +1,168 @@
+"""Unit tests for the off-chip memory tier."""
+
+import pytest
+
+from repro.core import MemRequest
+from repro.flow import build_simulation, compile_design
+from repro.hic import analyze
+from repro.memory import (
+    DEFAULT_LATENCY,
+    OffchipController,
+    OffchipMemory,
+    Residency,
+    allocate,
+)
+
+#: 600 words exceed one 512-word BRAM: must spill when allowed.
+BIG_ARRAY = """
+thread t () {
+  int big[600], i, x, done;
+  if (done == 0) {
+    for (i = 0; i < 4; i = i + 1) { big[i] = i * 3; }
+    x = big[2];
+    done = 1;
+  }
+}
+"""
+
+
+class TestOffchipMemory:
+    def test_read_write_roundtrip(self):
+        memory = OffchipMemory("x0")
+        memory.write(1000, 77)
+        assert memory.read(1000) == 77
+        assert memory.peek(1000) == 77
+
+    def test_uninitialized_reads_zero(self):
+        assert OffchipMemory("x0").read(42) == 0
+
+    def test_bounds_checked(self):
+        memory = OffchipMemory("x0", depth=100)
+        with pytest.raises(IndexError):
+            memory.read(100)
+        with pytest.raises(IndexError):
+            memory.write(-1, 0)
+
+    def test_width_truncation(self):
+        memory = OffchipMemory("x0")
+        memory.write(0, 1 << 40)
+        assert memory.read(0) == (1 << 40) & ((1 << 36) - 1)
+
+
+class TestOffchipController:
+    def test_access_takes_latency_cycles(self):
+        controller = OffchipController(OffchipMemory("x0"), latency=4)
+        granted_at = None
+        for cycle in range(10):
+            controller.submit(MemRequest("t", "A", 5, True, data=9))
+            results = controller.arbitrate(cycle)
+            if results.get("t") and results["t"].granted:
+                granted_at = cycle
+                break
+        assert granted_at == 3  # cycles 0..3 = 4 cycles of occupancy
+
+    def test_single_port_serializes_clients(self):
+        controller = OffchipController(OffchipMemory("x0"), latency=2)
+        grants = []
+        pending = {"a": MemRequest("a", "A", 0, True, data=1),
+                   "b": MemRequest("b", "A", 1, True, data=2)}
+        for cycle in range(10):
+            for request in pending.values():
+                controller.submit(request)
+            results = controller.arbitrate(cycle)
+            for client, result in results.items():
+                if result.granted:
+                    grants.append((cycle, client))
+                    del pending[client]
+            if not pending:
+                break
+        assert grants == [(1, "a"), (3, "b")]
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            OffchipController(OffchipMemory("x0"), latency=0)
+
+    def test_reset(self):
+        controller = OffchipController(OffchipMemory("x0"))
+        controller.submit(MemRequest("t", "A", 0, False))
+        controller.arbitrate(0)
+        controller.reset()
+        assert controller.latency_samples == []
+
+
+class TestSpillAllocation:
+    def test_big_array_spills_when_allowed(self):
+        checked = analyze(BIG_ARRAY)
+        mm = allocate(checked, allow_offchip=True)
+        placement = mm.placement("t", "big")
+        assert placement.residency is Residency.OFFCHIP
+        assert placement.bram == "offchip0"
+        assert placement.words == 600
+        assert mm.offchip_fill["offchip0"] == 600
+
+    def test_big_array_rejected_by_default(self):
+        checked = analyze(BIG_ARRAY)
+        with pytest.raises(ValueError, match="more than one BRAM"):
+            allocate(checked)
+
+    def test_spilled_dependency_rejected_downstream(self):
+        # The language surface cannot produce a >1-BRAM guarded variable
+        # (produced values are scalars or messages), but the invariant is
+        # enforced at both layers; exercise the grouping-layer check with a
+        # hand-built map.
+        from repro.hic.pragmas import ConsumerRef, Dependency
+        from repro.memory import MemoryMap, Placement
+        from repro.memory.allocation import dependencies_per_bram
+
+        mm = MemoryMap()
+        mm.offchip_names.append("offchip0")
+        mm.placements[("p", "x")] = Placement(
+            thread="p",
+            variable="x",
+            residency=Residency.OFFCHIP,
+            bram="offchip0",
+            base_address=0,
+            words=600,
+            bits=600 * 32,
+        )
+        dep = Dependency("d", "p", "x", (ConsumerRef("c", "v"),))
+        with pytest.raises(ValueError, match="BRAM-resident"):
+            dependencies_per_bram(mm, [dep])
+
+    def test_small_data_still_goes_to_bram(self):
+        checked = analyze(BIG_ARRAY)
+        mm = allocate(checked, allow_offchip=True)
+        # Scalars stay registers; nothing else needs the BRAM here.
+        assert mm.placement("t", "x").residency is Residency.REGISTER
+
+
+class TestOffchipSimulation:
+    def test_spilled_array_program_runs_correctly(self):
+        design = compile_design(BIG_ARRAY, allow_offchip=True)
+        sim = build_simulation(design)
+        sim.run(400)
+        assert sim.executors["t"].env["x"] == 6  # big[2] == 2 * 3
+
+    def test_offchip_latency_slows_execution(self):
+        fast = compile_design(
+            BIG_ARRAY.replace("big[600]", "big[100]")
+        )
+        slow = compile_design(BIG_ARRAY, allow_offchip=True)
+
+        sim_fast = build_simulation(fast)
+        sim_fast.run(400)
+        sim_slow = build_simulation(slow)
+        sim_slow.run(400)
+
+        # Same program shape; the off-chip version stalls on every access.
+        assert (
+            sim_slow.executors["t"].stats.stall_cycles
+            > sim_fast.executors["t"].stats.stall_cycles
+        )
+
+    def test_offchip_controller_instantiated(self):
+        design = compile_design(BIG_ARRAY, allow_offchip=True)
+        sim = build_simulation(design)
+        assert "offchip0" in sim.controllers
+        assert isinstance(sim.controllers["offchip0"], OffchipController)
+        assert sim.controllers["offchip0"].latency == DEFAULT_LATENCY

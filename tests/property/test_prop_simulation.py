@@ -1,0 +1,113 @@
+"""Property tests: whole-simulation invariants.
+
+Over the scenario family (consumer fan-out, organization, run length):
+
+* determinism: two identical runs produce identical observable state;
+* conservation: guarded reads per dependency never exceed dn x writes;
+* progress: with free-running threads, every consumer completes rounds;
+* FSM structural invariants hold for every synthesized thread.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.synth.fsm import MemReadOp, MemWriteOp
+from tests.conftest import make_fanout_source
+
+ORGS = [Organization.ARBITRATED, Organization.EVENT_DRIVEN]
+
+
+def run(consumers, organization, cycles):
+    design = compile_design(
+        make_fanout_source(consumers), organization=organization
+    )
+    sim = build_simulation(design)
+    sim.run(cycles)
+    return sim
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from(ORGS),
+    st.integers(min_value=50, max_value=300),
+)
+def test_simulation_is_deterministic(consumers, organization, cycles):
+    def observable(sim):
+        return (
+            {name: dict(ex.env) for name, ex in sim.executors.items()},
+            {
+                name: [
+                    (s.client, s.port, s.issue_cycle, s.grant_cycle)
+                    for s in ctl.latency_samples
+                ]
+                for name, ctl in sim.controllers.items()
+            },
+        )
+
+    first = observable(run(consumers, organization, cycles))
+    second = observable(run(consumers, organization, cycles))
+    assert first == second
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from(ORGS),
+    st.integers(min_value=100, max_value=400),
+)
+def test_read_write_conservation(consumers, organization, cycles):
+    sim = run(consumers, organization, cycles)
+    controller = sim.controllers["bram0"]
+    if organization is Organization.ARBITRATED:
+        writes = [s for s in controller.latency_samples if s.port == "D"]
+        reads = [s for s in controller.latency_samples if s.port == "C"]
+    else:
+        writes = [
+            s
+            for s in controller.latency_samples
+            if s.port == "B" and s.client == "producer"
+        ]
+        reads = [
+            s
+            for s in controller.latency_samples
+            if s.port == "B" and s.client != "producer"
+        ]
+    assert len(reads) <= consumers * len(writes)
+    if writes:
+        # At most one full produce-consume cycle can be in flight.
+        assert len(reads) >= consumers * (len(writes) - 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from(ORGS),
+)
+def test_progress_under_free_running_threads(consumers, organization):
+    sim = run(consumers, organization, 400)
+    for i in range(consumers):
+        assert sim.executors[f"c{i}"].stats.rounds_completed > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=8))
+def test_fsm_structural_invariants(consumers):
+    design = compile_design(make_fanout_source(consumers))
+    for fsm in design.fsms.values():
+        names = set(fsm.states)
+        assert fsm.initial in names
+        for state in fsm.states.values():
+            # At most one memory access per state (the paper's discipline).
+            assert len(state.memory_ops) <= 1
+            # All transitions target existing states; the default (last)
+            # transition of a multi-way branch is unguarded.
+            for tr in state.transitions:
+                assert tr.target in names
+            if state.transitions:
+                assert state.transitions[-1].guard is None
+            # Guarded ops carry their dependency id.
+            for op in state.ops:
+                if isinstance(op, (MemReadOp, MemWriteOp)) and op.guarded:
+                    assert op.dep_id is not None

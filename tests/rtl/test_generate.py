@@ -1,0 +1,147 @@
+"""Unit tests for the wrapper/thread netlist generators."""
+
+import pytest
+
+from repro.hic import analyze
+from repro.hic.pragmas import ConsumerRef, Dependency
+from repro.memory import allocate
+from repro.rtl import (
+    WrapperParams,
+    generate_arbitrated_wrapper,
+    generate_design,
+    generate_event_driven_wrapper,
+    generate_lock_baseline,
+    generate_thread_module,
+)
+from repro.synth import bind_program, synthesize_program
+
+
+def fanout_dep(consumers):
+    return Dependency(
+        "d0",
+        "prod",
+        "x",
+        tuple(ConsumerRef(f"c{i}", f"v{i}") for i in range(consumers)),
+    )
+
+
+class TestArbitratedGenerator:
+    def test_baseline_ff_count_is_66(self):
+        # The paper: "the baseline architecture ... requires 66 flip-flops".
+        for consumers in (2, 4, 8):
+            m = generate_arbitrated_wrapper(WrapperParams(consumers=consumers))
+            assert m.total_ffs() == 66
+
+    def test_luts_grow_with_consumers(self):
+        luts = [
+            generate_arbitrated_wrapper(WrapperParams(consumers=n)).total_luts()
+            for n in (2, 4, 8)
+        ]
+        assert luts[0] < luts[1] < luts[2]
+
+    def test_single_bram(self):
+        m = generate_arbitrated_wrapper(WrapperParams(consumers=2))
+        assert m.total_brams() == 1
+
+    def test_guarded_read_path_grows(self):
+        paths = [
+            generate_arbitrated_wrapper(WrapperParams(consumers=n)).worst_path()[1]
+            for n in (2, 4, 8)
+        ]
+        assert paths[0] < paths[2]
+
+    def test_deplist_entries_scale_ffs(self):
+        small = generate_arbitrated_wrapper(
+            WrapperParams(consumers=2, deplist_entries=2)
+        )
+        large = generate_arbitrated_wrapper(
+            WrapperParams(consumers=2, deplist_entries=16)
+        )
+        assert large.total_ffs() > small.total_ffs()
+
+    def test_multi_producer_adds_arbiter(self):
+        single = generate_arbitrated_wrapper(WrapperParams(consumers=2))
+        multi = generate_arbitrated_wrapper(
+            WrapperParams(consumers=2, producers=3)
+        )
+        assert multi.total_ffs() > single.total_ffs()
+
+
+class TestEventDrivenGenerator:
+    def test_ffs_scale_with_consumers(self):
+        ffs = [
+            generate_event_driven_wrapper(
+                WrapperParams(consumers=n), [fanout_dep(n)]
+            ).total_ffs()
+            for n in (2, 4, 8)
+        ]
+        assert ffs[0] < ffs[1] < ffs[2]
+
+    def test_lighter_than_arbitrated(self):
+        for n in (2, 4, 8):
+            arb = generate_arbitrated_wrapper(WrapperParams(consumers=n))
+            ed = generate_event_driven_wrapper(
+                WrapperParams(consumers=n), [fanout_dep(n)]
+            )
+            assert ed.total_luts() < arb.total_luts()
+            assert ed.total_ffs() < arb.total_ffs()
+
+    def test_shorter_critical_path_than_arbitrated(self):
+        for n in (2, 4, 8):
+            arb = generate_arbitrated_wrapper(WrapperParams(consumers=n))
+            ed = generate_event_driven_wrapper(
+                WrapperParams(consumers=n), [fanout_dep(n)]
+            )
+            assert ed.worst_path()[1] < arb.worst_path()[1]
+
+    def test_empty_dependency_list(self):
+        m = generate_event_driven_wrapper(WrapperParams(consumers=0), [])
+        assert m.total_brams() == 1
+
+
+class TestLockBaselineGenerator:
+    def test_generates(self):
+        m = generate_lock_baseline(WrapperParams(consumers=2))
+        assert m.total_brams() == 1
+        assert m.total_ffs() > 0
+
+    def test_per_client_fsm_cost(self):
+        small = generate_lock_baseline(WrapperParams(consumers=2))
+        large = generate_lock_baseline(WrapperParams(consumers=8))
+        assert large.total_luts() > small.total_luts()
+        assert large.total_ffs() > small.total_ffs()
+
+
+class TestThreadGenerator:
+    def test_figure1_thread_modules(self, figure1_checked):
+        mm = allocate(figure1_checked)
+        fsms = synthesize_program(figure1_checked, mm)
+        bindings = bind_program(figure1_checked, mm, fsms)
+        for name in ("t1", "t2", "t3"):
+            module = generate_thread_module(fsms[name], bindings[name])
+            assert module.total_ffs() > 0
+            assert module.name == f"thread_{name}"
+
+    def test_registers_contribute_ffs(self):
+        checked = analyze("thread t () { int a, b, c; a = b + c; }")
+        mm = allocate(checked)
+        fsms = synthesize_program(checked, mm)
+        bindings = bind_program(checked, mm, fsms)
+        module = generate_thread_module(fsms["t"], bindings["t"])
+        assert module.total_ffs() >= 96  # three 32-bit registers
+
+
+class TestDesignGenerator:
+    def test_top_level_composition(self, figure1_checked):
+        mm = allocate(figure1_checked)
+        fsms = synthesize_program(figure1_checked, mm)
+        bindings = bind_program(figure1_checked, mm, fsms)
+        wrapper = generate_arbitrated_wrapper(WrapperParams(consumers=2))
+        threads = [
+            generate_thread_module(fsms[n], bindings[n])
+            for n in ("t1", "t2", "t3")
+        ]
+        top = generate_design("figure1", [wrapper], threads)
+        assert top.total_brams() == 1
+        assert top.total_ffs() > wrapper.total_ffs()
+        assert len(top.child_modules()) == 4

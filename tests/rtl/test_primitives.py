@@ -1,0 +1,136 @@
+"""Unit tests for the macro primitive cost models."""
+
+import pytest
+
+from repro.rtl import (
+    Adder,
+    BramMacro,
+    CamRow,
+    Counter,
+    Decoder,
+    EqComparator,
+    FsmLogic,
+    MagComparator,
+    Mux,
+    PriorityEncoder,
+    RandomLogic,
+    Register,
+    RoundRobinArbiterMacro,
+    clog2,
+)
+
+
+class TestClog2:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (512, 9)],
+    )
+    def test_values(self, value, expected):
+        assert clog2(value) == expected
+
+
+class TestBasicCosts:
+    def test_register_is_ffs_only(self):
+        reg = Register(width=32)
+        assert reg.ffs() == 32
+        assert reg.luts() == 0
+
+    def test_counter_lut_per_bit(self):
+        counter = Counter(width=4)
+        assert counter.ffs() == 4
+        assert counter.luts() == 4
+        assert counter.logic_levels() == 1
+
+    def test_adder_carry_chain(self):
+        assert Adder(width=32).luts() == 32
+        assert Adder(width=32).logic_levels() == 1
+
+    def test_bram_has_no_fabric_cost(self):
+        bram = BramMacro()
+        assert bram.luts() == 0 and bram.ffs() == 0
+        assert bram.brams() == 1
+
+
+class TestMux:
+    def test_two_to_one(self):
+        mux = Mux(width=9, inputs=2)
+        assert mux.luts() == 9
+        assert mux.logic_levels() == 1
+
+    def test_four_to_one(self):
+        mux = Mux(width=9, inputs=4)
+        assert mux.luts() == 18
+        assert mux.logic_levels() == 2
+
+    def test_degenerate_single_input(self):
+        mux = Mux(width=9, inputs=1)
+        assert mux.luts() == 0
+        assert mux.logic_levels() == 0
+
+    def test_lut_growth_is_monotone(self):
+        costs = [Mux(width=9, inputs=n).luts() for n in (2, 4, 8)]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+
+class TestComparators:
+    def test_eq_comparator_9_bits(self):
+        cmp9 = EqComparator(width=9)
+        # 5 partials + AND tree (2 + 1)
+        assert cmp9.luts() == 8
+        assert cmp9.logic_levels() == 3
+
+    def test_eq_comparator_small(self):
+        assert EqComparator(width=2).luts() == 1
+        assert EqComparator(width=2).logic_levels() == 1
+
+    def test_mag_comparator(self):
+        assert MagComparator(width=32).luts() == 32
+
+
+class TestCamRow:
+    def test_ff_is_key_plus_valid(self):
+        assert CamRow(key_bits=9).ffs() == 10
+
+    def test_luts_dominated_by_comparator(self):
+        row = CamRow(key_bits=9)
+        assert row.luts() == EqComparator(width=9).luts() + 1
+
+
+class TestArbiterMacro:
+    def test_pointer_ffs(self):
+        assert RoundRobinArbiterMacro(clients=8).ffs() == 3
+        assert RoundRobinArbiterMacro(clients=2).ffs() == 1
+
+    def test_luts_scale_with_clients(self):
+        small = RoundRobinArbiterMacro(clients=2).luts()
+        large = RoundRobinArbiterMacro(clients=8).luts()
+        assert large > small
+
+    def test_single_client_degenerate(self):
+        assert RoundRobinArbiterMacro(clients=1).luts() == 1
+
+
+class TestControl:
+    def test_decoder(self):
+        assert Decoder(outputs=4).luts() == 4
+        assert Decoder(outputs=1).luts() == 0
+
+    def test_wide_decoder_two_levels(self):
+        assert Decoder(outputs=32).logic_levels() == 2
+
+    def test_priority_encoder(self):
+        assert PriorityEncoder(inputs=3).luts() == 5
+        assert PriorityEncoder(inputs=1).luts() == 0
+
+    def test_fsm_ffs_are_state_bits(self):
+        assert FsmLogic(states=5, transitions=8).ffs() == 3
+
+    def test_random_logic_pass_through(self):
+        logic = RandomLogic(lut_count=7, levels=2)
+        assert logic.luts() == 7
+        assert logic.logic_levels() == 2
+
+    def test_describe_mentions_costs(self):
+        text = Register(width=4).describe()
+        assert "FF=4" in text

@@ -1,0 +1,70 @@
+"""Unit tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+from tests.conftest import DEADLOCK_SOURCE, FIGURE1_SOURCE
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    path = tmp_path / "fig1.hic"
+    path.write_text(FIGURE1_SOURCE)
+    return str(path)
+
+
+class TestCli:
+    def test_compile_only(self, figure1_file, capsys):
+        assert main([figure1_file]) == 0
+        out = capsys.readouterr().out
+        assert "3 threads" in out
+        assert "FF=66" in out
+
+    def test_event_driven_option(self, figure1_file, capsys):
+        assert main([figure1_file, "--organization", "event_driven"]) == 0
+        assert "event_driven_wrapper" in capsys.readouterr().out
+
+    def test_simulate_option(self, figure1_file, capsys):
+        assert main([figure1_file, "--simulate", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated 50 cycles" in out
+        assert "rounds" in out
+
+    def test_verilog_output(self, figure1_file, tmp_path, capsys):
+        target = tmp_path / "out.v"
+        assert main([figure1_file, "--verilog", str(target)]) == 0
+        assert "endmodule" in target.read_text()
+
+    def test_vcd_output(self, figure1_file, tmp_path):
+        target = tmp_path / "trace.vcd"
+        assert main(
+            [figure1_file, "--simulate", "30", "--vcd", str(target)]
+        ) == 0
+        assert "$enddefinitions" in target.read_text()
+
+    def test_deplist_entries_option(self, figure1_file, capsys):
+        assert main([figure1_file, "--deplist-entries", "8"]) == 0
+        out = capsys.readouterr().out
+        # 8 entries x 14 FF + 10 fixed = 122 FFs
+        assert "FF=122" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/file.hic"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.hic"
+        path.write_text("thread t () { int x; x = ; }")
+        assert main([str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_deadlock_rejected(self, tmp_path, capsys):
+        path = tmp_path / "deadlock.hic"
+        path.write_text(DEADLOCK_SOURCE)
+        assert main([str(path)]) == 1
+        assert "deadlock" in capsys.readouterr().err
+
+    def test_deadlock_check_skippable(self, tmp_path):
+        path = tmp_path / "deadlock.hic"
+        path.write_text(DEADLOCK_SOURCE)
+        assert main([str(path), "--no-deadlock-check"]) == 0

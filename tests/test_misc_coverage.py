@@ -1,0 +1,147 @@
+"""Targeted tests for paths not covered by the per-module suites."""
+
+import pytest
+
+from repro.core import ControllerStats, MemRequest, Organization
+from repro.flow import build_simulation, compile_design
+from repro.fpga import estimate_design
+from repro.hic import TokenKind, tokenize
+from repro.hic.errors import HicSyntaxError
+from repro.memory import BlockRam
+from repro.net import Route, format_ip, ip
+from repro.rtl import Module, PortDirection, Register, WrapperParams
+from repro.rtl.generate import generate_arbitrated_wrapper, generate_design
+
+
+class TestControllerStats:
+    def test_from_empty_waits(self):
+        stats = ControllerStats.from_waits([])
+        assert stats.count == 0
+        assert stats.deterministic
+
+    def test_deterministic_detection(self):
+        assert ControllerStats.from_waits([3, 3, 3]).deterministic
+        assert not ControllerStats.from_waits([3, 4]).deterministic
+
+    def test_mean(self):
+        stats = ControllerStats.from_waits([1, 2, 3])
+        assert stats.mean_wait == pytest.approx(2.0)
+        assert stats.min_wait == 1
+        assert stats.max_wait == 3
+
+
+class TestLexerStrings:
+    def test_string_literal_token(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == '"hello world"'
+
+    def test_string_with_escape(self):
+        tokens = tokenize(r'"a\"b"')
+        assert tokens[0].kind is TokenKind.STRING
+
+    def test_unterminated_string(self):
+        with pytest.raises(HicSyntaxError):
+            tokenize('"never closed')
+
+    def test_token_str_and_value_guards(self):
+        token = tokenize("abc")[0]
+        assert "abc" in str(token)
+        with pytest.raises(ValueError):
+            token.int_value  # noqa: B018
+        with pytest.raises(ValueError):
+            token.char_value  # noqa: B018
+
+
+class TestUtilizationDetails:
+    def test_bram_utilization_fraction(self):
+        wrapper = generate_arbitrated_wrapper(WrapperParams(consumers=2))
+        top = generate_design("top", [wrapper], [])
+        report = estimate_design(top)
+        assert report.bram_utilization == pytest.approx(1 / 88)
+
+    def test_zero_bram_device(self):
+        from repro.fpga.device import Device
+
+        tiny = Device("FAKE", slices=10, bram_blocks=0, multipliers=0,
+                      ppc_cores=0)
+        wrapper = generate_arbitrated_wrapper(WrapperParams(consumers=2))
+        top = generate_design("top", [wrapper], [])
+        report = estimate_design(top, device=tiny)
+        assert report.bram_utilization == 0.0
+        assert not report.fits
+
+
+class TestRouteFormatting:
+    def test_route_str(self):
+        route = Route(ip(10, 1, 0, 0), 16, 3)
+        assert str(route) == "10.1.0.0/16 -> port 3"
+
+    def test_format_ip_zero(self):
+        assert format_ip(0) == "0.0.0.0"
+
+
+class TestExecutorErrorPaths:
+    def test_message_on_register_raises(self):
+        # Force a bogus transmit of a scalar via a hand-built design: the
+        # parser prevents this, so call the helper directly.
+        design = compile_design("thread t () { int x; x = 1; }")
+        sim = build_simulation(design)
+        executor = sim.executors["t"]
+        with pytest.raises(KeyError, match="not BRAM-resident"):
+            executor._load_message("x")
+
+    def test_kernel_reset_clears_controllers(self, tmp_path):
+        design = compile_design(
+            "thread a () { int p, t;"
+            " #consumer{d,[b,v]}\n p = f(t); }"
+            "thread b () { int v;"
+            " #producer{d,[a,p]}\n v = g(p); }"
+        )
+        sim = build_simulation(design)
+        sim.run(100)
+        assert sim.controllers["bram0"].latency_samples
+        sim.kernel.reset()
+        assert sim.controllers["bram0"].latency_samples == []
+        assert sim.kernel.cycle == 0
+
+
+class TestNetlistEdges:
+    def test_grandchild_modules_deduplicated(self):
+        leaf = Module(name="leaf")
+        leaf.add_port("clk", PortDirection.INPUT)
+        leaf.add_instance("r", Register(width=1), {"clk": "clk"})
+        mid = Module(name="mid")
+        mid.add_instance("u", leaf)
+        top = Module(name="top")
+        top.add_instance("m1", mid)
+        top.add_instance("m2", mid)
+        names = sorted(m.name for m in top.child_modules())
+        assert names == ["leaf", "mid"]
+
+
+class TestOrganizationEnum:
+    def test_values_match_cli_choices(self):
+        assert {o.value for o in Organization} == {
+            "arbitrated",
+            "event_driven",
+            "lock_baseline",
+        }
+
+
+class TestBramPortAccounting:
+    def test_distinct_ports_in_trace(self):
+        bram = BlockRam("b", trace_enabled=True)
+        bram.write(0, 1, cycle=0, port="D")
+        bram.read(0, cycle=1, port="C")
+        bram.read(0, cycle=2, port="A")
+        ports = [access.port for access in bram.trace]
+        assert ports == ["D", "C", "A"]
+
+
+class TestRequestKey:
+    def test_key_identity(self):
+        a = MemRequest("t", "C", 3, False, dep_id="d")
+        b = MemRequest("t", "C", 3, False, dep_id="d")
+        assert a.key == b.key
+        assert a == b

@@ -1,0 +1,49 @@
+"""The README's code blocks must actually run."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_with_quickstart(self):
+        text = README.read_text()
+        assert "## Quickstart" in text
+        assert "compile_design" in text
+
+    def test_python_blocks_execute(self):
+        blocks = python_blocks()
+        assert blocks, "README must contain at least one python block"
+        for block in blocks:
+            namespace: dict = {}
+            exec(compile(block, "<README>", "exec"), namespace)
+
+    def test_quickstart_block_produces_expected_objects(self):
+        block = python_blocks()[0]
+        namespace: dict = {}
+        exec(compile(block, "<README>", "exec"), namespace)
+        design = namespace["design"]
+        assert design.area_report("bram0").ffs == 66
+        sim = namespace["sim"]
+        assert sim.executors["t2"].env["y1"] != 0
+
+    def test_documented_flags_exist(self):
+        # Every CLI flag the README mentions must be real.
+        from repro.__main__ import _parser
+
+        text = README.read_text()
+        parser_flags = {
+            option
+            for action in _parser()._actions
+            for option in action.option_strings
+        }
+        for flag in re.findall(r"--[a-z][a-z-]+", text):
+            if flag in ("--benchmark-only", "--no-build-isolation"):
+                continue  # pytest/pip flags, not ours
+            assert flag in parser_flags, f"README mentions unknown {flag}"
