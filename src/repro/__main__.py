@@ -8,6 +8,7 @@ Examples::
     python -m repro design.hic
     python -m repro design.hic --organization event_driven --verilog out.v
     python -m repro design.hic --simulate 1000 --vcd trace.vcd
+    python -m repro faults --seed 7 --runs 8        # chaos campaign
 """
 
 from __future__ import annotations
@@ -91,6 +92,12 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "faults":
+        # Sub-tool: fault-injection campaigns against the controllers.
+        from .faults.campaign import faults_main
+
+        return faults_main(argv[1:])
     args = _parser().parse_args(argv)
     try:
         with open(args.source) as handle:

@@ -19,11 +19,20 @@ from .arbiter import PriorityArbiter, RoundRobinArbiter
 from .arbitrated import ArbitratedConfig, ArbitratedController
 from .cam import CamEntry, ContentAddressableMemory
 from .controller import (
+    BlockedRequest,
     ControllerStats,
     LatencySample,
     MemRequest,
     MemResult,
     MemoryController,
+)
+from .errors import (
+    ControllerError,
+    GuardViolationError,
+    ProtocolError,
+    RuntimeDeadlockError,
+    UnknownPortError,
+    WatchdogTimeout,
 )
 from .event_driven import EventDrivenConfig, EventDrivenController
 from .lock_baseline import LockBaselineController, LockStats
@@ -38,9 +47,16 @@ __all__ = [
     "RoundRobinArbiter",
     "ArbitratedConfig",
     "ArbitratedController",
+    "BlockedRequest",
     "CamEntry",
     "ContentAddressableMemory",
+    "ControllerError",
     "ControllerStats",
+    "GuardViolationError",
+    "ProtocolError",
+    "RuntimeDeadlockError",
+    "UnknownPortError",
+    "WatchdogTimeout",
     "LatencySample",
     "MemRequest",
     "MemResult",

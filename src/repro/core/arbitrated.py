@@ -38,6 +38,7 @@ from ..memory.deplist import DependencyList
 from .arbiter import PriorityArbiter, RoundRobinArbiter
 from .cam import ContentAddressableMemory
 from .controller import MemRequest, MemResult, MemoryController
+from .errors import UnknownPortError
 
 
 @dataclass
@@ -99,13 +100,23 @@ class ArbitratedController(MemoryController):
         by_port: dict[str, list[MemRequest]] = {"A": [], "B": [], "C": [], "D": []}
         for request in requests:
             if request.port not in by_port:
-                raise ValueError(f"unknown wrapper port {request.port!r}")
+                raise UnknownPortError(
+                    f"unknown wrapper port {request.port!r}",
+                    bram=self.bram.name,
+                    client=request.client,
+                    cycle=cycle,
+                )
             by_port[request.port].append(request)
 
         # Physical port 0: direct port-A access.  The design-time schedule
-        # should not double-book it; if it does, serve one per cycle.
+        # should not double-book it; if it does, serve one per cycle,
+        # round-robin so no client is starved by a lexicographic tie-break.
         if by_port["A"]:
-            chosen = min(by_port["A"], key=lambda r: r.client)
+            requesting = {r.client for r in by_port["A"]}
+            for client in sorted(requesting - set(self._arb_a.clients)):
+                self._arb_a.clients.append(client)
+            winner = self._arb_a.grant(requesting)
+            chosen = next(r for r in by_port["A"] if r.client == winner)
             results[chosen.client] = self._perform(chosen)
 
         # Physical port 1: priority D > C > B among *grantable* requests.
@@ -147,12 +158,52 @@ class ArbitratedController(MemoryController):
             winner = self._arb_c.grant({r.client for r in c_allowed})
             request = next(r for r in c_allowed if r.client == winner)
             results[request.client] = self._perform(request)
-            self.deplist.note_consumer_read(request.address, request.client, request.dep_id)
+            # A read whose address no longer matches any entry (possible
+            # only if the list's configuration was upset at runtime) is a
+            # plain read of whatever the BRAM holds: nothing to decrement.
+            if (
+                self.deplist.match_for_read(
+                    request.address, request.client, request.dep_id
+                )
+                is not None
+            ):
+                self.deplist.note_consumer_read(
+                    request.address, request.client, request.dep_id
+                )
         elif selected == "B":
             chosen = min(b_allowed, key=lambda r: r.client)
             results[chosen.client] = self._perform(chosen)
 
         return results
+
+    # -- watchdog recovery tap --------------------------------------------------------
+
+    def force_unblock(self, request: MemRequest, cycle: int) -> bool:
+        """Break-dependency recovery: force the stuck deplist entry into a
+        state that lets ``request`` proceed next cycle.
+
+        * a blocked consumer read is unstuck by force-arming its entry with
+          one outstanding read (the data is whatever the BRAM holds);
+        * a blocked producer write is unstuck by draining every armed
+          sibling entry on the address (the unconsumed data is dropped).
+
+        Both are *degradations*: legal traffic may now observe stale or
+        skipped values — the watchdog records that alongside the recovery.
+        """
+        if request.write:
+            armed = [
+                e for e in self.deplist.matches(request.address) if e.outstanding
+            ]
+            for entry in armed:
+                entry.outstanding = 0
+            return bool(armed)
+        entry = self.deplist.match_for_read(
+            request.address, request.client, request.dep_id
+        )
+        if entry is None or entry.outstanding > 0:
+            return False
+        entry.outstanding = 1
+        return True
 
     def reset(self) -> None:
         super().reset()

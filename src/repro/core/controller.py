@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..memory.bram import BlockRam
 
@@ -63,6 +63,21 @@ class LatencySample:
         return self.grant_cycle - self.issue_cycle
 
 
+@dataclass(frozen=True)
+class BlockedRequest:
+    """A request submitted this cycle that arbitration did not grant —
+    the per-controller tap the runtime watchdog reads."""
+
+    request: MemRequest
+    issue_cycle: int
+    blocked_cycles: int
+
+
+#: An injection seam over ``submit``: each tap may pass a request through
+#: (possibly rewritten) or return ``None`` to drop it at the port.
+RequestTap = Callable[[MemRequest], Optional[MemRequest]]
+
+
 class MemoryController(abc.ABC):
     """Base class for the per-BRAM memory organizations."""
 
@@ -72,11 +87,20 @@ class MemoryController(abc.ABC):
         self._issue_cycle: dict[tuple, int] = {}
         self.latency_samples: list[LatencySample] = []
         self.cycle: int = 0
+        #: fault-injection seams applied to every submitted request
+        self.request_taps: list[RequestTap] = []
+        #: requests left ungranted by the most recent ``arbitrate`` call
+        self.blocked: list[BlockedRequest] = []
 
     # -- cycle protocol ------------------------------------------------------------
 
     def submit(self, request: MemRequest) -> None:
         """Register a request for this cycle; idempotent across stalls."""
+        for tap in self.request_taps:
+            tapped = tap(request)
+            if tapped is None:
+                return  # dropped at the port
+            request = tapped
         self._pending[request.key] = request
         self._issue_cycle.setdefault(request.key, self.cycle)
 
@@ -98,6 +122,14 @@ class MemoryController(abc.ABC):
                     )
                 )
                 del self._pending[key]
+        self.blocked = [
+            BlockedRequest(
+                request=request,
+                issue_cycle=self._issue_cycle[key],
+                blocked_cycles=cycle - self._issue_cycle[key],
+            )
+            for key, request in self._pending.items()
+        ]
         # Requests not granted remain pending; threads re-submit anyway.
         self._pending = {}
         return results
@@ -119,10 +151,17 @@ class MemoryController(abc.ABC):
         value = self.bram.read(request.address, self.cycle, request.port)
         return MemResult(granted=True, data=value)
 
+    def force_unblock(self, request: MemRequest, cycle: int) -> bool:
+        """Watchdog recovery seam: clear whatever state is holding
+        ``request`` back, recording nothing.  Returns True if the
+        organization could do anything; the base class cannot."""
+        return False
+
     def reset(self) -> None:
         self._pending.clear()
         self._issue_cycle.clear()
         self.latency_samples.clear()
+        self.blocked.clear()
         self.cycle = 0
 
     # -- statistics -----------------------------------------------------------------

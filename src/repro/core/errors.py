@@ -1,0 +1,102 @@
+"""Structured runtime errors raised by the memory controllers.
+
+The paper's pitch is *safe by construction*: deadlocks are rejected
+statically and guarded accesses block until legal.  When that construction
+is violated at runtime — a protocol bug, an injected fault, a watchdog
+firing — the failure must surface as a structured, attributable error
+rather than a bare ``ValueError`` or a silently hung simulation.  Every
+error carries the coordinates a report needs: the BRAM, the client thread,
+the cycle, and (where applicable) the dependency involved.
+
+``ControllerError`` derives from ``RuntimeError`` so pre-existing callers
+that caught broad runtime failures keep working; the protocol-shape
+subclasses additionally derive from ``ValueError`` for the same reason.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ControllerError(RuntimeError):
+    """Base class: a runtime failure inside a memory organization.
+
+    Attributes mirror the constructor keywords; any may be ``None`` when
+    the coordinate does not apply (e.g. a system-wide deadlock has no
+    single client).
+    """
+
+    kind = "controller-error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        bram: Optional[str] = None,
+        client: Optional[str] = None,
+        cycle: Optional[int] = None,
+        dep_id: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.bram = bram
+        self.client = client
+        self.cycle = cycle
+        self.dep_id = dep_id
+
+    def describe(self) -> str:
+        """One-line structured rendering for reports and logs."""
+        coords = [
+            f"{name}={value}"
+            for name, value in (
+                ("bram", self.bram),
+                ("client", self.client),
+                ("cycle", self.cycle),
+                ("dep", self.dep_id),
+            )
+            if value is not None
+        ]
+        suffix = f" [{', '.join(coords)}]" if coords else ""
+        return f"{self.kind}: {self.message}{suffix}"
+
+
+class ProtocolError(ControllerError, ValueError):
+    """A request violated the wrapper's port protocol (malformed traffic)."""
+
+    kind = "protocol-error"
+
+
+class UnknownPortError(ProtocolError):
+    """A request named a port the wrapper does not expose."""
+
+    kind = "unknown-port"
+
+
+class GuardViolationError(ControllerError):
+    """The dependency-list guard protocol was broken (e.g. a consumer read
+    with no outstanding produce-consume cycle) — the runtime signature of a
+    corrupted dependency list or a duplicated request."""
+
+    kind = "guard-violation"
+
+
+class WatchdogTimeout(ControllerError):
+    """A guarded request stayed blocked past the watchdog threshold."""
+
+    kind = "watchdog-timeout"
+
+    def __init__(self, message: str, *, blocked_cycles: int = 0, **coords):
+        super().__init__(message, **coords)
+        self.blocked_cycles = blocked_cycles
+
+
+class RuntimeDeadlockError(ControllerError):
+    """The system-level watchdog saw no executor progress while guarded
+    requests stayed blocked — the dynamic complement of the static check in
+    :mod:`repro.analysis.deadlock`."""
+
+    kind = "runtime-deadlock"
+
+    def __init__(self, message: str, *, stalled_cycles: int = 0, **coords):
+        super().__init__(message, **coords)
+        self.stalled_cycles = stalled_cycles

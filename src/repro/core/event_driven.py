@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..hic.pragmas import Dependency
 from ..memory.bram import BlockRam
 from .controller import MemRequest, MemResult, MemoryController
+from .errors import ProtocolError
 from .modulo import ModuloSchedule, SelectionLogic, SlotKind
 
 
@@ -78,8 +79,11 @@ class EventDrivenController(MemoryController):
         if slot is not None:
             for request in guarded:
                 if request.dep_id is None:
-                    raise ValueError(
-                        "event-driven wrapper port B requires a dep_id"
+                    raise ProtocolError(
+                        "event-driven wrapper port B requires a dep_id",
+                        bram=self.bram.name,
+                        client=request.client,
+                        cycle=cycle,
                     )
                 is_producer = request.write
                 if self.selection.enabled(
@@ -110,6 +114,21 @@ class EventDrivenController(MemoryController):
         """The deterministic post-write read latency of a consumer: its
         1-based rank in the dependency's consumer chain."""
         return self.schedule.consumer_rank(dep_id, thread) + 1
+
+    # -- watchdog recovery tap --------------------------------------------------------
+
+    def force_unblock(self, request: MemRequest, cycle: int) -> bool:
+        """Break-dependency recovery: skip the stuck slot.
+
+        The static schedule has exactly one slot enabled; if its thread is
+        dead the whole chain hangs.  Advancing the selection logic past the
+        slot lets the rest of the chain proceed — the skipped access simply
+        never happens, which the watchdog records as a degradation.
+        """
+        if self.selection.current is None:
+            return False
+        self.selection.advance(cycle)
+        return True
 
     def reset(self) -> None:
         super().reset()

@@ -1,0 +1,57 @@
+"""Fault injection and runtime watchdogs for the memory controllers.
+
+The paper argues the generated controllers make synchronization *safe by
+construction* — this package exercises the *unhappy* path that claim never
+covers:
+
+* :mod:`~repro.faults.models` — seeded, schedulable fault models: BRAM
+  single-event upsets, producer stall/death, request drop/duplication at a
+  controller port, and dependency-list configuration corruption;
+* :mod:`~repro.faults.injector` — arms fault models onto a running
+  simulation through the kernel's pre-cycle hook and the controllers'
+  request taps;
+* :mod:`~repro.faults.watchdog` — runtime detection of blocked-read
+  timeouts and system-level deadlock/livelock (the dynamic complement of
+  :mod:`repro.analysis.deadlock`), with configurable recovery policies;
+* :mod:`~repro.faults.campaign` — randomized chaos campaigns with
+  golden-trace classification (clean / detected-recovered /
+  detected-aborted / silent-corruption) and deterministic reports.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignReport,
+    Classification,
+    RunOutcome,
+    run_campaign,
+)
+from .injector import FaultInjector
+from .models import (
+    DeplistCorruption,
+    Fault,
+    ProducerStall,
+    RequestDrop,
+    RequestDuplicate,
+    SeuBitFlip,
+    sample_fault,
+)
+from .watchdog import RecoveryPolicy, Watchdog, WatchdogEvent
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "Classification",
+    "RunOutcome",
+    "run_campaign",
+    "FaultInjector",
+    "DeplistCorruption",
+    "Fault",
+    "ProducerStall",
+    "RequestDrop",
+    "RequestDuplicate",
+    "SeuBitFlip",
+    "sample_fault",
+    "RecoveryPolicy",
+    "Watchdog",
+    "WatchdogEvent",
+]

@@ -1,0 +1,386 @@
+"""Chaos campaigns: randomized fault injection with golden-trace triage.
+
+A campaign compiles a design, records a fault-free *golden* run, then
+replays the same horizon many times under seeded random faults.  Each run
+is classified against the golden signature (final BRAM contents plus every
+executor's architectural register file):
+
+* ``clean`` — no watchdog event, signature matches: the fault was masked;
+* ``detected-recovered`` — the watchdog fired and the run continued
+  (policies ``warn-continue`` / ``break-dependency``);
+* ``detected-aborted`` — the watchdog aborted the run with a structured
+  :class:`~repro.core.errors.ControllerError` (policy ``abort``);
+* ``silent-corruption`` — no detection, but the signature diverged: the
+  worst case, and the reason fault campaigns exist.
+
+Everything is driven by one integer seed; two campaigns with the same
+configuration render byte-identical reports.
+
+CLI::
+
+    python -m repro faults --seed 7 --runs 8 --cycles 400
+    python -m repro faults --organization arbitrated --policy abort
+    python -m repro faults --kinds seu,producer-stall --report out.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import enum
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.advisor import Organization
+from ..core.errors import ControllerError
+from .injector import FaultInjector
+from .models import FAULT_KINDS, FaultSurface, sample_fault
+from .watchdog import RecoveryPolicy, Watchdog
+
+#: The built-in campaign workload: a three-stage pipeline with two
+#: producer/consumer dependencies — enough structure for every fault kind
+#: to have a target, and valid for every memory organization.
+CAMPAIGN_SOURCE = """
+thread stage1 () {
+  int a, raw;
+  #consumer{d1,[stage2,b]}
+  a = f(raw);
+}
+
+thread stage2 () {
+  int b, scratch;
+  #producer{d1,[stage1,a]}
+  b = g(a, scratch);
+  #consumer{d2,[stage3,c]}
+  b = h(b);
+}
+
+thread stage3 () {
+  int c, out;
+  #producer{d2,[stage2,b]}
+  c = f(b);
+  out = c + 1;
+}
+"""
+
+
+class Classification(enum.Enum):
+    CLEAN = "clean"
+    DETECTED_RECOVERED = "detected-recovered"
+    DETECTED_ABORTED = "detected-aborted"
+    SILENT_CORRUPTION = "silent-corruption"
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign (and hence its report)."""
+
+    seed: int = 7
+    runs: int = 8
+    cycles: int = 400
+    organizations: tuple[str, ...] = ("arbitrated", "event_driven")
+    fault_kinds: tuple[str, ...] = FAULT_KINDS
+    policy: str = RecoveryPolicy.BREAK_DEPENDENCY.value
+    read_timeout: int = 40
+    deadlock_window: int = 80
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One classified fault run."""
+
+    organization: str
+    index: int
+    fault_kinds: tuple[str, ...]
+    faults: tuple[str, ...]
+    classification: Classification
+    cycles_run: int
+    watchdog_events: tuple[str, ...] = ()
+    degradations: tuple[str, ...] = ()
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignReport:
+    """A campaign's classified outcomes plus deterministic rendering."""
+
+    config: CampaignConfig
+    outcomes: list[RunOutcome] = field(default_factory=list)
+
+    def by_classification(self) -> dict[str, int]:
+        counts: dict[str, int] = {c.value: 0 for c in Classification}
+        for outcome in self.outcomes:
+            counts[outcome.classification.value] += 1
+        return counts
+
+    def by_kind(self) -> dict[str, dict[str, int]]:
+        """fault kind -> classification -> run count (runs with several
+        faults count under each kind involved)."""
+        table: dict[str, dict[str, int]] = {}
+        for outcome in self.outcomes:
+            for kind in sorted(set(outcome.fault_kinds)) or ["none"]:
+                row = table.setdefault(kind, {})
+                row[outcome.classification.value] = (
+                    row.get(outcome.classification.value, 0) + 1
+                )
+        return table
+
+    def kinds_classified(self) -> tuple[str, ...]:
+        """Distinct fault kinds that produced at least one classified run."""
+        return tuple(sorted({k for o in self.outcomes for k in o.fault_kinds}))
+
+    def render(self) -> str:
+        cfg = self.config
+        lines = [
+            "fault campaign",
+            f"  seed={cfg.seed} runs={cfg.runs} cycles={cfg.cycles} "
+            f"policy={cfg.policy}",
+            f"  organizations: {', '.join(cfg.organizations)}",
+            f"  watchdog: read_timeout={cfg.read_timeout} "
+            f"deadlock_window={cfg.deadlock_window}",
+            "",
+        ]
+        for outcome in self.outcomes:
+            lines.append(
+                f"run {outcome.organization}#{outcome.index}: "
+                f"{outcome.classification.value} "
+                f"({outcome.cycles_run} cycles)"
+            )
+            for fault in outcome.faults:
+                lines.append(f"    fault: {fault}")
+            for event in outcome.watchdog_events:
+                lines.append(f"    watchdog: {event}")
+            for degradation in outcome.degradations:
+                lines.append(f"    {degradation}")
+            if outcome.error:
+                lines.append(f"    error: {outcome.error}")
+        lines.append("")
+        lines.append("summary by fault kind:")
+        for kind, row in sorted(self.by_kind().items()):
+            cells = " ".join(
+                f"{name}={count}" for name, count in sorted(row.items())
+            )
+            lines.append(f"  {kind}: {cells}")
+        totals = " ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.by_classification().items())
+        )
+        lines.append(f"totals: {totals}")
+        return "\n".join(lines)
+
+
+def _trace_rounds(sim) -> dict[str, list[tuple]]:
+    """Install a golden-trace recorder: per thread, the architectural
+    register file at every completed round.
+
+    Round boundaries make the trace phase-insensitive, so comparing
+    *histories* distinguishes the cases a single final snapshot cannot:
+
+    * pure delay (dropped request, short stall) produces a *prefix* of the
+      golden history — degradation, not corruption;
+    * a corrupted value survives in the round it escaped into, even if
+      the next producer write heals the memory afterwards.
+    """
+    histories: dict[str, list[tuple]] = {name: [] for name in sim.executors}
+    seen = {name: 0 for name in sim.executors}
+
+    def hook(cycle: int, kernel) -> None:
+        for name, executor in sim.executors.items():
+            if executor.stats.rounds_completed > seen[name]:
+                seen[name] = executor.stats.rounds_completed
+                histories[name].append(
+                    tuple(sorted((executor.last_round_env or {}).items()))
+                )
+
+    sim.kernel.add_post_cycle_hook(hook)
+    return histories
+
+
+def _diverged(golden: dict[str, list[tuple]], faulted: dict[str, list[tuple]]) -> bool:
+    """True iff any thread's faulted round history contradicts the golden
+    one on their common prefix (shorter-but-consistent = delayed, clean)."""
+    for name, golden_rounds in golden.items():
+        faulted_rounds = faulted.get(name, [])
+        common = min(len(golden_rounds), len(faulted_rounds))
+        if golden_rounds[:common] != faulted_rounds[:common]:
+            return True
+    return False
+
+
+def _compile(source: str, organization: str):
+    from ..flow import compile_design
+
+    return compile_design(
+        source,
+        name="campaign",
+        organization=Organization(organization),
+    )
+
+
+def run_campaign(
+    config: CampaignConfig = CampaignConfig(),
+    source: str = CAMPAIGN_SOURCE,
+) -> CampaignReport:
+    """Run the full campaign and return its report."""
+    from ..flow import build_simulation
+
+    report = CampaignReport(config=config)
+    for org_index, organization in enumerate(config.organizations):
+        golden_sim = build_simulation(_compile(source, organization))
+        golden = _trace_rounds(golden_sim)
+        golden_sim.run(config.cycles)
+
+        for index in range(config.runs):
+            rng = random.Random(
+                config.seed * 1_000_003 + org_index * 7_919 + index
+            )
+            # Recompile per run: faults mutate configuration-time state
+            # (the dependency list), which must not leak across runs.
+            sim = build_simulation(_compile(source, organization))
+            surface = FaultSurface.from_simulation(sim)
+            n_faults = 1 + (rng.random() < 0.4)
+            faults = []
+            for __ in range(n_faults):
+                fault = sample_fault(
+                    rng,
+                    rng.choice(config.fault_kinds),
+                    surface,
+                    config.cycles,
+                )
+                if fault is not None:
+                    faults.append(fault)
+            injector = FaultInjector(faults).attach(sim)
+            traced = _trace_rounds(sim)
+            watchdog = Watchdog(
+                read_timeout=config.read_timeout,
+                deadlock_window=config.deadlock_window,
+                policy=config.policy,
+            ).attach(sim)
+
+            error: Optional[str] = None
+            try:
+                sim.run(config.cycles)
+            except ControllerError as exc:
+                error = exc.describe()
+
+            if error is not None:
+                classification = Classification.DETECTED_ABORTED
+            elif watchdog.tripped:
+                classification = Classification.DETECTED_RECOVERED
+            elif _diverged(golden, traced):
+                classification = Classification.SILENT_CORRUPTION
+            else:
+                classification = Classification.CLEAN
+
+            report.outcomes.append(
+                RunOutcome(
+                    organization=organization,
+                    index=index,
+                    fault_kinds=tuple(f.kind for f in faults),
+                    faults=tuple(injector.describe()),
+                    classification=classification,
+                    cycles_run=sim.kernel.cycle,
+                    watchdog_events=tuple(
+                        e.describe() for e in watchdog.events
+                    ),
+                    degradations=tuple(watchdog.degradations),
+                    error=error,
+                )
+            )
+    return report
+
+
+# -- command line ---------------------------------------------------------------------
+
+
+def _faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description=(
+            "Run a seeded fault-injection campaign against the generated "
+            "memory controllers and classify every run against a golden "
+            "trace."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--runs", type=int, default=8, help="fault runs per organization"
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=400, help="simulated cycles per run"
+    )
+    parser.add_argument(
+        "--organization",
+        choices=["arbitrated", "event_driven", "both"],
+        default="both",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=[p.value for p in RecoveryPolicy],
+        default=RecoveryPolicy.BREAK_DEPENDENCY.value,
+        help="watchdog recovery policy",
+    )
+    parser.add_argument(
+        "--kinds",
+        default=",".join(FAULT_KINDS),
+        help=f"comma-separated fault kinds (default: all of {FAULT_KINDS})",
+    )
+    parser.add_argument(
+        "--read-timeout", type=int, default=40, metavar="CYCLES"
+    )
+    parser.add_argument(
+        "--deadlock-window", type=int, default=80, metavar="CYCLES"
+    )
+    parser.add_argument(
+        "--source", metavar="FILE", help="hic design to fault (default: built-in pipeline)"
+    )
+    parser.add_argument(
+        "--report", metavar="FILE", help="also write the report to FILE"
+    )
+    return parser
+
+
+def faults_main(argv: Optional[list] = None) -> int:
+    """Entry point for ``python -m repro faults``."""
+    args = _faults_parser().parse_args(argv)
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    unknown = set(kinds) - set(FAULT_KINDS)
+    if unknown:
+        print(f"error: unknown fault kinds {sorted(unknown)}", file=sys.stderr)
+        return 2
+    organizations = (
+        ("arbitrated", "event_driven")
+        if args.organization == "both"
+        else (args.organization,)
+    )
+    source = CAMPAIGN_SOURCE
+    if args.source:
+        try:
+            with open(args.source) as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"error: cannot read {args.source}: {error}", file=sys.stderr)
+            return 2
+    config = CampaignConfig(
+        seed=args.seed,
+        runs=args.runs,
+        cycles=args.cycles,
+        organizations=organizations,
+        fault_kinds=kinds,
+        policy=args.policy,
+        read_timeout=args.read_timeout,
+        deadlock_window=args.deadlock_window,
+    )
+    try:
+        report = run_campaign(config, source=source)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    text = report.render()
+    print(text)
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote report to {args.report}")
+    return 0

@@ -1,0 +1,304 @@
+"""Seeded, schedulable fault models.
+
+Each model is a frozen description of *one* injected disturbance: what it
+hits, and at which simulation cycle it fires.  The models cover the
+classic platform-FPGA concerns the paper's safe-by-construction argument
+leaves open:
+
+* :class:`SeuBitFlip` — a single-event upset in BRAM: one stored bit
+  flips behind the port logic (configuration memory and user state are
+  both SEU targets on Virtex-II Pro class devices);
+* :class:`ProducerStall` — a producer thread stalls for N cycles or dies
+  outright: its requests simply stop arriving at the controller;
+* :class:`RequestDrop` — a request is lost at a controller port (glitched
+  request line);
+* :class:`RequestDuplicate` — a granted request is replayed the next
+  cycle (stuck request line), which can steal a ``dn`` read slot or
+  double-arm a guard;
+* :class:`DeplistCorruption` — the dependency list's configuration is
+  upset: wrong dependency number or wrong guarded base address.
+
+:func:`sample_fault` draws a parameterized fault from a seeded RNG and a
+:class:`FaultSurface` (the design-derived description of what exists to be
+faulted), which is how campaigns generate reproducible chaos.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: Canonical fault-kind names, in campaign/report order.
+FAULT_KINDS: tuple[str, ...] = (
+    "seu",
+    "producer-stall",
+    "request-drop",
+    "request-duplicate",
+    "deplist-corruption",
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: a disturbance scheduled at one simulation cycle."""
+
+    at_cycle: int
+
+    kind = "fault"
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return f"{self.kind}@{self.at_cycle}"
+
+
+@dataclass(frozen=True)
+class SeuBitFlip(Fault):
+    """Flip one stored bit of one BRAM word at ``at_cycle``."""
+
+    bram: str = "bram0"
+    address: int = 0
+    bit: int = 0
+
+    kind = "seu"
+
+    def describe(self) -> str:
+        return (
+            f"seu@{self.at_cycle}: flip {self.bram}[{self.address}] "
+            f"bit {self.bit}"
+        )
+
+
+@dataclass(frozen=True)
+class ProducerStall(Fault):
+    """Suppress every request from ``client`` starting at ``at_cycle``.
+
+    ``duration=None`` models thread death (the stall never ends).
+    """
+
+    client: str = ""
+    duration: Optional[int] = None
+
+    kind = "producer-stall"
+
+    def describe(self) -> str:
+        span = "forever" if self.duration is None else f"{self.duration} cycles"
+        return f"producer-stall@{self.at_cycle}: {self.client} silent {span}"
+
+
+@dataclass(frozen=True)
+class RequestDrop(Fault):
+    """Drop the next ``count`` requests matching (bram, client) once the
+    fault is active.  ``client=None`` matches any client."""
+
+    bram: str = "bram0"
+    client: Optional[str] = None
+    count: int = 1
+
+    kind = "request-drop"
+
+    def describe(self) -> str:
+        who = self.client or "any client"
+        return (
+            f"request-drop@{self.at_cycle}: lose {self.count} request(s) "
+            f"from {who} at {self.bram}"
+        )
+
+
+@dataclass(frozen=True)
+class RequestDuplicate(Fault):
+    """Replay the next matching granted request one cycle later."""
+
+    bram: str = "bram0"
+    client: Optional[str] = None
+
+    kind = "request-duplicate"
+
+    def describe(self) -> str:
+        who = self.client or "any client"
+        return (
+            f"request-duplicate@{self.at_cycle}: replay next grant "
+            f"of {who} at {self.bram}"
+        )
+
+
+@dataclass(frozen=True)
+class DeplistCorruption(Fault):
+    """Upset one dependency-list entry's configuration at ``at_cycle``."""
+
+    bram: str = "bram0"
+    dep_id: str = ""
+    dependency_number: Optional[int] = None
+    base_address: Optional[int] = None
+
+    kind = "deplist-corruption"
+
+    def describe(self) -> str:
+        changes = []
+        if self.dependency_number is not None:
+            changes.append(f"dn={self.dependency_number}")
+        if self.base_address is not None:
+            changes.append(f"base={self.base_address}")
+        return (
+            f"deplist-corruption@{self.at_cycle}: {self.bram}/{self.dep_id} "
+            f"-> {', '.join(changes) or 'no-op'}"
+        )
+
+
+@dataclass(frozen=True)
+class GuardedEntry:
+    """One faultable dependency-list entry, as seen by the sampler."""
+
+    bram: str
+    dep_id: str
+    dependency_number: int
+    base_address: int
+    producer_thread: str
+
+
+@dataclass(frozen=True)
+class FaultSurface:
+    """What a compiled design exposes to the fault sampler."""
+
+    brams: tuple[str, ...]
+    entries: tuple[GuardedEntry, ...]
+    clients: tuple[str, ...]
+    depth: int = 512
+    width: int = 36
+
+    @classmethod
+    def from_simulation(cls, sim) -> "FaultSurface":
+        """Derive the surface from a built :class:`repro.flow.Simulation`."""
+        brams = []
+        entries = []
+        for name in sorted(sim.controllers):
+            controller = sim.controllers[name]
+            bram = getattr(controller, "bram", None)
+            if bram is None:
+                continue  # off-chip banks are outside the BRAM fault model
+            brams.append(name)
+            deplist = getattr(controller, "deplist", None)
+            dep_entries = (
+                deplist.entries
+                if deplist is not None
+                else _event_driven_entries(controller, sim)
+            )
+            for entry in dep_entries:
+                entries.append(
+                    GuardedEntry(
+                        bram=name,
+                        dep_id=entry.dep_id,
+                        dependency_number=entry.dependency_number,
+                        base_address=entry.base_address,
+                        producer_thread=entry.producer_thread,
+                    )
+                )
+        return cls(
+            brams=tuple(brams),
+            entries=tuple(entries),
+            clients=tuple(sorted(sim.executors)),
+        )
+
+    @property
+    def producers(self) -> tuple[str, ...]:
+        return tuple(sorted({e.producer_thread for e in self.entries}))
+
+    @property
+    def guarded_addresses(self) -> tuple[int, ...]:
+        return tuple(sorted({e.base_address for e in self.entries}))
+
+
+def _event_driven_entries(controller, sim):
+    """The event-driven wrapper has no deplist; recover the equivalent
+    entries from the design's per-BRAM dependency lists."""
+    design = getattr(sim, "design", None)
+    if design is None:
+        return []
+    deplist = design.deplists.get(controller.bram.name)
+    return deplist.entries if deplist is not None else []
+
+
+def sample_fault(
+    rng: random.Random,
+    kind: str,
+    surface: FaultSurface,
+    horizon: int,
+) -> Optional[Fault]:
+    """Draw one parameterized fault of ``kind``.
+
+    Returns ``None`` when the surface has nothing of that kind to fault
+    (e.g. no guarded entries for a deplist corruption).  Every random
+    draw comes from ``rng``, so a seeded campaign replays exactly.
+    """
+    fire = rng.randrange(1, max(2, horizon // 2))
+    if kind == "seu":
+        if not surface.brams:
+            return None
+        # Bias toward live (guarded) words: those flips are the ones that
+        # can propagate; a uniformly random word is usually unused.
+        addresses = surface.guarded_addresses or (0,)
+        address = rng.choice(addresses) if rng.random() < 0.75 else rng.randrange(
+            surface.depth
+        )
+        return SeuBitFlip(
+            at_cycle=fire,
+            bram=rng.choice(surface.brams),
+            address=address,
+            bit=rng.randrange(surface.width),
+        )
+    if kind == "producer-stall":
+        if not surface.producers:
+            return None
+        duration = None if rng.random() < 0.5 else rng.randrange(10, horizon)
+        return ProducerStall(
+            at_cycle=fire,
+            client=rng.choice(surface.producers),
+            duration=duration,
+        )
+    if kind == "request-drop":
+        if not surface.brams:
+            return None
+        client = (
+            rng.choice(surface.clients)
+            if surface.clients and rng.random() < 0.5
+            else None
+        )
+        return RequestDrop(
+            at_cycle=fire,
+            bram=rng.choice(surface.brams),
+            client=client,
+            count=rng.randrange(1, 4),
+        )
+    if kind == "request-duplicate":
+        if not surface.brams:
+            return None
+        client = (
+            rng.choice(surface.clients)
+            if surface.clients and rng.random() < 0.5
+            else None
+        )
+        return RequestDuplicate(
+            at_cycle=fire,
+            bram=rng.choice(surface.brams),
+            client=client,
+        )
+    if kind == "deplist-corruption":
+        if not surface.entries:
+            return None
+        entry = rng.choice(surface.entries)
+        if rng.random() < 0.5:
+            # Wrong dn: off by one in either direction (never negative).
+            delta = rng.choice([-1, 1, 2])
+            return DeplistCorruption(
+                at_cycle=fire,
+                bram=entry.bram,
+                dep_id=entry.dep_id,
+                dependency_number=max(0, entry.dependency_number + delta),
+            )
+        return DeplistCorruption(
+            at_cycle=fire,
+            bram=entry.bram,
+            dep_id=entry.dep_id,
+            base_address=(entry.base_address + rng.randrange(1, 8))
+            % surface.depth,
+        )
+    raise ValueError(f"unknown fault kind {kind!r}")

@@ -1,0 +1,234 @@
+"""Runtime watchdogs over the memory controllers.
+
+The static deadlock check (:mod:`repro.analysis.deadlock`) proves the
+*declared* dependencies consistent; it cannot see runtime violations —
+a dead producer, a corrupted dependency list, a dropped request.  The
+watchdog closes that gap with two detectors driven from the kernel's
+post-cycle hook:
+
+* **blocked-read timeout** — a request has sat ungranted at one
+  controller for ``read_timeout`` consecutive cycles (read off the
+  controller's :class:`~repro.core.controller.BlockedRequest` tap);
+* **system deadlock** — no executor has taken a state transition for
+  ``deadlock_window`` cycles while at least one request is blocked (the
+  kernel's progress counters stopped with work outstanding).
+
+What happens next is the *recovery policy*:
+
+* ``abort`` — raise a structured :class:`~repro.core.errors.ControllerError`
+  (simulation stops with an attributable failure, never a silent hang);
+* ``warn-continue`` — record the event and keep running;
+* ``break-dependency`` — ask the controller to
+  :meth:`~repro.core.controller.MemoryController.force_unblock` the stuck
+  request (force-arm the deplist entry / skip the dead slot), recording
+  the degradation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.controller import BlockedRequest, MemoryController
+from ..core.errors import RuntimeDeadlockError, WatchdogTimeout
+
+#: Default thresholds, in cycles.  Both sit well above the longest legal
+#: wait of the reproduced designs (a full consumer chain is < 16 cycles)
+#: and well below any practical simulation horizon.
+DEFAULT_READ_TIMEOUT = 64
+DEFAULT_DEADLOCK_WINDOW = 128
+
+
+class RecoveryPolicy(enum.Enum):
+    """What the watchdog does when a detector fires."""
+
+    ABORT = "abort"
+    WARN_CONTINUE = "warn-continue"
+    BREAK_DEPENDENCY = "break-dependency"
+
+
+@dataclass(frozen=True)
+class WatchdogEvent:
+    """One detector firing, with the action taken."""
+
+    cycle: int
+    kind: str  # "blocked-read-timeout" | "system-deadlock"
+    action: str  # "aborted" | "warned" | "broke-dependency"
+    bram: Optional[str] = None
+    client: Optional[str] = None
+    dep_id: Optional[str] = None
+    blocked_cycles: int = 0
+
+    def describe(self) -> str:
+        where = "/".join(p for p in (self.bram, self.client) if p)
+        dep = f" dep={self.dep_id}" if self.dep_id else ""
+        return (
+            f"cycle {self.cycle}: {self.kind} at {where or 'system'}{dep} "
+            f"(blocked {self.blocked_cycles} cycles) -> {self.action}"
+        )
+
+
+class Watchdog:
+    """Per-controller and system-level runtime supervision."""
+
+    def __init__(
+        self,
+        *,
+        read_timeout: int = DEFAULT_READ_TIMEOUT,
+        deadlock_window: int = DEFAULT_DEADLOCK_WINDOW,
+        policy: RecoveryPolicy | str = RecoveryPolicy.ABORT,
+    ):
+        if read_timeout < 1 or deadlock_window < 1:
+            raise ValueError("watchdog thresholds must be >= 1 cycle")
+        self.read_timeout = read_timeout
+        self.deadlock_window = deadlock_window
+        self.policy = RecoveryPolicy(policy)
+        self.events: list[WatchdogEvent] = []
+        self.degradations: list[str] = []
+        self._controllers: dict[str, MemoryController] = {}
+        self._reported: set[tuple] = set()
+        self._last_advances: Optional[int] = None
+        self._stalled_cycles = 0
+        self._deadlock_reported = False
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, target) -> "Watchdog":
+        """Wire into a :class:`repro.flow.Simulation` (or a bare kernel)."""
+        kernel = getattr(target, "kernel", target)
+        self._controllers = dict(kernel.controllers)
+        kernel.add_post_cycle_hook(self.hook)
+        kernel.context["watchdog"] = self
+        return self
+
+    @property
+    def tripped(self) -> bool:
+        return bool(self.events)
+
+    # -- detection --------------------------------------------------------------------
+
+    def hook(self, cycle: int, kernel) -> None:
+        self._check_blocked_reads(cycle)
+        self._check_system_deadlock(cycle, kernel)
+
+    def _check_blocked_reads(self, cycle: int) -> None:
+        for name in sorted(self._controllers):
+            controller = self._controllers[name]
+            for blocked in controller.blocked:
+                if blocked.blocked_cycles < self.read_timeout:
+                    continue
+                token = (name, blocked.request.key, blocked.issue_cycle)
+                if token in self._reported:
+                    continue
+                self._reported.add(token)
+                self._handle_blocked(cycle, name, controller, blocked)
+
+    def _handle_blocked(
+        self,
+        cycle: int,
+        name: str,
+        controller: MemoryController,
+        blocked: BlockedRequest,
+    ) -> None:
+        request = blocked.request
+        action = {
+            RecoveryPolicy.ABORT: "aborted",
+            RecoveryPolicy.WARN_CONTINUE: "warned",
+            RecoveryPolicy.BREAK_DEPENDENCY: "broke-dependency",
+        }[self.policy]
+        if self.policy is RecoveryPolicy.BREAK_DEPENDENCY:
+            if controller.force_unblock(request, cycle):
+                self.degradations.append(
+                    f"cycle {cycle}: forced {name} to unblock "
+                    f"{request.client} (port {request.port}, "
+                    f"address {request.address})"
+                )
+            else:
+                action = "warned"
+        event = WatchdogEvent(
+            cycle=cycle,
+            kind="blocked-read-timeout",
+            action=action,
+            bram=name,
+            client=request.client,
+            dep_id=request.dep_id,
+            blocked_cycles=blocked.blocked_cycles,
+        )
+        self.events.append(event)
+        if self.policy is RecoveryPolicy.ABORT:
+            raise WatchdogTimeout(
+                f"request blocked {blocked.blocked_cycles} cycles "
+                f"(threshold {self.read_timeout})",
+                bram=name,
+                client=request.client,
+                cycle=cycle,
+                dep_id=request.dep_id,
+                blocked_cycles=blocked.blocked_cycles,
+            )
+
+    def _check_system_deadlock(self, cycle: int, kernel) -> None:
+        advances = kernel.total_advances()
+        if advances != self._last_advances:
+            self._last_advances = advances
+            self._stalled_cycles = 0
+            self._deadlock_reported = False
+            return
+        self._stalled_cycles += 1
+        blocked_anywhere = [
+            (name, blocked)
+            for name in sorted(self._controllers)
+            for blocked in self._controllers[name].blocked
+        ]
+        if (
+            self._stalled_cycles < self.deadlock_window
+            or not blocked_anywhere
+            or self._deadlock_reported
+        ):
+            return
+        self._deadlock_reported = True
+        clients = sorted({b.request.client for __, b in blocked_anywhere})
+        action = {
+            RecoveryPolicy.ABORT: "aborted",
+            RecoveryPolicy.WARN_CONTINUE: "warned",
+            RecoveryPolicy.BREAK_DEPENDENCY: "broke-dependency",
+        }[self.policy]
+        if self.policy is RecoveryPolicy.BREAK_DEPENDENCY:
+            recovered = False
+            for name, blocked in blocked_anywhere:
+                if self._controllers[name].force_unblock(blocked.request, cycle):
+                    recovered = True
+                    self.degradations.append(
+                        f"cycle {cycle}: deadlock break forced {name} to "
+                        f"unblock {blocked.request.client}"
+                    )
+            if not recovered:
+                action = "warned"
+            # Give the recovery a full window to restore progress before
+            # the detector may fire again.
+            self._stalled_cycles = 0
+            self._deadlock_reported = False
+        event = WatchdogEvent(
+            cycle=cycle,
+            kind="system-deadlock",
+            action=action,
+            client=",".join(clients),
+            blocked_cycles=self._stalled_cycles or self.deadlock_window,
+        )
+        self.events.append(event)
+        if self.policy is RecoveryPolicy.ABORT:
+            raise RuntimeDeadlockError(
+                f"no executor progress for {self.deadlock_window} cycles "
+                f"with blocked clients: {', '.join(clients)}",
+                cycle=cycle,
+                stalled_cycles=self.deadlock_window,
+            )
+
+    # -- reporting --------------------------------------------------------------------
+
+    def report(self) -> str:
+        if not self.events:
+            return "watchdog: no events"
+        lines = [event.describe() for event in self.events]
+        lines.extend(f"degradation: {d}" for d in self.degradations)
+        return "\n".join(lines)

@@ -231,6 +231,22 @@ class Simulation:
         """Queue a message on an ingress interface."""
         self.rx[interface].push(message)
 
+    # -- robustness wiring (lazy imports: repro.faults imports this module) ----------
+
+    def attach_watchdog(self, **kwargs):
+        """Attach a runtime :class:`repro.faults.Watchdog` (blocked-read
+        timeouts, dynamic deadlock detection) and return it."""
+        from .faults.watchdog import Watchdog
+
+        return Watchdog(**kwargs).attach(self)
+
+    def inject_faults(self, faults):
+        """Arm a list of :mod:`repro.faults.models` faults and return the
+        :class:`repro.faults.FaultInjector`."""
+        from .faults.injector import FaultInjector
+
+        return FaultInjector(list(faults)).attach(self)
+
 
 def build_simulation(
     design: CompiledDesign,

@@ -116,6 +116,22 @@ class BlockRam:
         self._check_address(address)
         return self._words[address]
 
+    def flip_bit(self, address: int, bit: int) -> int:
+        """Fault-injection seam: flip one stored bit (an SEU model — no
+        port transaction, no trace entry, exactly as a particle strike
+        bypasses the port logic).  Returns the corrupted word."""
+        self._check_address(address)
+        if not 0 <= bit < self.width:
+            raise ValueError(
+                f"bit {bit} out of range for {self.width}-bit words"
+            )
+        self._words[address] ^= 1 << bit
+        return self._words[address]
+
+    def snapshot(self) -> tuple[int, ...]:
+        """The full memory contents, for golden-trace comparison."""
+        return tuple(self._words)
+
     def load(self, words: list[int]) -> None:
         """Initialize memory contents (configuration-time preload)."""
         if len(words) > self.depth:

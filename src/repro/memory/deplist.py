@@ -174,6 +174,27 @@ class DependencyList:
                 return entry
         raise KeyError(f"no dependency entry {dep_id!r}")
 
+    # -- fault-injection seam -------------------------------------------------------
+
+    def corrupt(
+        self,
+        dep_id: str,
+        *,
+        dependency_number: int | None = None,
+        base_address: int | None = None,
+    ) -> tuple[int, int]:
+        """Overwrite one entry's configuration in place (a configuration
+        upset: wrong ``dn`` or wrong guarded address).  Returns the
+        original ``(dependency_number, base_address)`` pair so an injector
+        can report — or undo — the damage."""
+        entry = self.entry_for(dep_id)
+        original = (entry.dependency_number, entry.base_address)
+        if dependency_number is not None:
+            entry.dependency_number = max(0, dependency_number)
+        if base_address is not None:
+            entry.base_address = base_address
+        return original
+
     # -- the guard protocol (§3.1 access rules) -----------------------------------
 
     def consumer_read_allowed(
@@ -245,9 +266,16 @@ class DependencyList:
         if entry is None:
             raise KeyError(f"no dependency entry guards address {address}")
         if entry.outstanding <= 0:
-            raise RuntimeError(
+            # Local import: repro.core pulls in this module at package
+            # initialization, so a top-level import would be circular.
+            from ..core.errors import GuardViolationError
+
+            raise GuardViolationError(
                 f"consumer read at address {address} with no outstanding "
-                "produce-consume cycle"
+                "produce-consume cycle",
+                bram=self.bram,
+                client=consumer_thread,
+                dep_id=dep_id or entry.dep_id,
             )
         entry.outstanding -= 1
 

@@ -110,6 +110,8 @@ class ExecutorStats:
     stall_cycles: int = 0
     state_visits: dict[str, int] = field(default_factory=dict)
     rounds_completed: int = 0
+    #: state transitions actually taken — the watchdog's progress signal
+    advances: int = 0
 
     @property
     def utilization(self) -> float:
@@ -148,6 +150,9 @@ class ThreadExecutor:
             self.env[name] = to_unsigned(value)
         self.state_name = fsm.initial
         self.stats = ExecutorStats()
+        #: architectural state at the last completed round — the
+        #: phase-insensitive snapshot golden-trace comparison diffs
+        self.last_round_env: Optional[dict[str, int]] = None
         self._waiting_read: Optional[MemReadOp] = None
         self._op_index = 0
         self._blocked = False
@@ -374,7 +379,9 @@ class ThreadExecutor:
             if transition.guard is None or self.evaluate(transition.guard):
                 if transition.target == self.fsm.initial:
                     self.stats.rounds_completed += 1
+                    self.last_round_env = dict(self.env)
                 self.state_name = transition.target
+                self.stats.advances += 1
                 return
         # A state with no matching transition holds (terminal wait state).
         self.stats.stall_cycles += 1

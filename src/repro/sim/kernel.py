@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.controller import MemResult, MemoryController
-from .executor import ThreadExecutor
+from .executor import ExecutorStats, ThreadExecutor
 
 #: A per-cycle hook: receives the cycle number and the kernel.
 CycleHook = Callable[[int, "SimulationKernel"], None]
@@ -30,7 +30,7 @@ class SimulationResult:
     """Summary of one simulation run."""
 
     cycles_run: int
-    executor_stats: dict[str, object] = field(default_factory=dict)
+    executor_stats: dict[str, ExecutorStats] = field(default_factory=dict)
     controller_samples: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
@@ -58,6 +58,26 @@ class SimulationKernel:
         self.cycle = 0
         self._pre_hooks: list[CycleHook] = []
         self._post_hooks: list[CycleHook] = []
+        #: shared scratch space for cooperating hooks (fault injectors,
+        #: watchdogs, probes) — keyed by convention, e.g. ``"watchdog"``
+        self.context: dict[str, object] = {}
+
+    # -- progress counters (read by the runtime watchdog) ---------------------------
+
+    def total_advances(self) -> int:
+        """State transitions taken across all executors since reset — the
+        system-level progress counter: if it stops moving while guarded
+        requests stay blocked, the design is dynamically deadlocked."""
+        return sum(
+            executor.stats.advances for executor in self.executors.values()
+        )
+
+    def total_rounds(self) -> int:
+        """Completed thread rounds across all executors."""
+        return sum(
+            executor.stats.rounds_completed
+            for executor in self.executors.values()
+        )
 
     def add_pre_cycle_hook(self, hook: CycleHook) -> None:
         """Runs before phase 1 (e.g. traffic injection)."""

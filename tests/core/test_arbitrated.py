@@ -183,6 +183,51 @@ class TestArbitration:
         assert "c0" not in controller.arbitrate(0)
 
 
+class TestPortARoundRobin:
+    """Regression: the port-A arbiter used to be constructed but never
+    consulted, so concurrent port-A requests were always resolved in favor
+    of the lexicographically-first client."""
+
+    def test_contending_clients_alternate(self):
+        controller, __ = make_controller(consumers=1)
+        winners = []
+        for cycle in range(4):
+            controller.submit(MemRequest("aa", "A", 1, False))
+            controller.submit(MemRequest("zz", "A", 2, False))
+            results = controller.arbitrate(cycle)
+            winners.extend(c for c in ("aa", "zz") if c in results)
+        assert winners == ["aa", "zz", "aa", "zz"]
+
+    def test_loser_retains_its_issue_cycle(self):
+        controller, __ = make_controller(consumers=1)
+        controller.submit(MemRequest("aa", "A", 1, False))
+        controller.submit(MemRequest("zz", "A", 2, False))
+        controller.arbitrate(0)
+        controller.submit(MemRequest("zz", "A", 2, False))
+        controller.arbitrate(1)
+        waits = {
+            s.client: s.wait_cycles
+            for s in controller.latency_samples
+            if s.port == "A"
+        }
+        assert waits == {"aa": 0, "zz": 1}
+
+    def test_single_client_served_every_cycle(self):
+        controller, __ = make_controller(consumers=1)
+        for cycle in range(3):
+            controller.submit(MemRequest("solo", "A", 4, True, data=cycle))
+            assert controller.arbitrate(cycle)["solo"].granted
+
+    def test_design_time_client_list_honored(self):
+        controller, __ = make_controller(consumers=1)
+        controller._arb_a.clients.extend(["x", "y"])
+        controller.submit(MemRequest("y", "A", 1, False))
+        controller.submit(MemRequest("x", "A", 2, False))
+        results = controller.arbitrate(0)
+        # Grant order follows the configured client list, not name order.
+        assert "x" in results and "y" not in results
+
+
 class TestConfig:
     def test_pseudo_ports_scale(self):
         for n in (2, 4, 8):

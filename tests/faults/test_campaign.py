@@ -1,0 +1,144 @@
+"""Campaign-level tests: classification, determinism, and the CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.faults import CampaignConfig, Classification, run_campaign
+from repro.faults.campaign import CAMPAIGN_SOURCE, _diverged
+
+
+class TestClassification:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign(CampaignConfig(seed=7, runs=6, cycles=300))
+
+    def test_every_run_classified(self, report):
+        cfg = report.config
+        assert len(report.outcomes) == cfg.runs * len(cfg.organizations)
+        assert sum(report.by_classification().values()) == len(report.outcomes)
+
+    def test_at_least_four_kinds_classified(self, report):
+        # Acceptance floor: the campaign exercises >= 4 distinct fault
+        # kinds across the two organizations.
+        assert len(report.kinds_classified()) >= 4
+
+    def test_both_organizations_covered(self, report):
+        assert {o.organization for o in report.outcomes} == {
+            "arbitrated",
+            "event_driven",
+        }
+
+    def test_detections_happen(self, report):
+        counts = report.by_classification()
+        assert counts[Classification.DETECTED_RECOVERED.value] > 0
+
+    def test_render_mentions_every_run(self, report):
+        text = report.render()
+        for outcome in report.outcomes:
+            assert f"run {outcome.organization}#{outcome.index}:" in text
+        assert "totals:" in text
+
+    def test_abort_policy_produces_aborts(self):
+        report = run_campaign(
+            CampaignConfig(
+                seed=7,
+                runs=4,
+                cycles=300,
+                organizations=("arbitrated",),
+                policy="abort",
+            )
+        )
+        counts = report.by_classification()
+        assert counts[Classification.DETECTED_ABORTED.value] > 0
+        aborted = [
+            o
+            for o in report.outcomes
+            if o.classification is Classification.DETECTED_ABORTED
+        ]
+        # Aborts carry the structured error description, not a bare hang.
+        assert all(o.error for o in aborted)
+
+
+class TestDeterminism:
+    def test_same_config_renders_identically(self):
+        config = CampaignConfig(
+            seed=11, runs=3, cycles=150, organizations=("arbitrated",)
+        )
+        first = run_campaign(config).render()
+        second = run_campaign(config).render()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        base = dict(runs=3, cycles=150, organizations=("arbitrated",))
+        first = run_campaign(CampaignConfig(seed=1, **base)).render()
+        second = run_campaign(CampaignConfig(seed=2, **base)).render()
+        assert first != second
+
+
+class TestDivergence:
+    def test_prefix_consistency_is_clean(self):
+        golden = {"t": [(1,), (2,), (3,)]}
+        assert not _diverged(golden, {"t": [(1,), (2,)]})  # delayed
+        assert not _diverged(golden, {"t": [(1,), (2,), (3,)]})
+
+    def test_any_divergent_round_is_corruption(self):
+        golden = {"t": [(1,), (2,), (3,)]}
+        assert _diverged(golden, {"t": [(1,), (9,)]})
+
+
+class TestCli:
+    def run_cli(self, capsys, *extra):
+        code = main(
+            [
+                "faults",
+                "--seed",
+                "7",
+                "--runs",
+                "2",
+                "--cycles",
+                "150",
+                "--organization",
+                "arbitrated",
+                *extra,
+            ]
+        )
+        return code, capsys.readouterr().out
+
+    def test_exit_zero_and_report(self, capsys):
+        code, out = self.run_cli(capsys)
+        assert code == 0
+        assert "fault campaign" in out
+        assert "totals:" in out
+
+    def test_cli_output_is_deterministic(self, capsys):
+        __, first = self.run_cli(capsys)
+        __, second = self.run_cli(capsys)
+        assert first == second
+
+    def test_unknown_kind_rejected(self, capsys):
+        code = main(["faults", "--kinds", "gremlin"])
+        assert code == 2
+        assert "unknown fault kinds" in capsys.readouterr().err
+
+    def test_kind_filter_respected(self, capsys):
+        code, out = self.run_cli(capsys, "--kinds", "producer-stall")
+        assert code == 0
+        for kind in ("seu", "request-drop", "deplist-corruption"):
+            assert f"  {kind}:" not in out
+
+    def test_report_file_written(self, capsys, tmp_path):
+        path = tmp_path / "report.txt"
+        code, out = self.run_cli(capsys, "--report", str(path))
+        assert code == 0
+        assert path.read_text().strip() in out
+
+    def test_missing_source_file(self, capsys):
+        code = main(["faults", "--source", "/nonexistent/x.hic"])
+        assert code == 2
+
+    def test_source_file_accepted(self, capsys, tmp_path):
+        path = tmp_path / "design.hic"
+        path.write_text(CAMPAIGN_SOURCE)
+        code, out = self.run_cli(capsys, "--source", str(path))
+        assert code == 0
+        assert "totals:" in out

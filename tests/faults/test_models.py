@@ -1,0 +1,93 @@
+"""Unit tests for the fault models and the seeded sampler."""
+
+import random
+
+import pytest
+
+from repro.core import Organization
+from repro.faults.models import (
+    FAULT_KINDS,
+    DeplistCorruption,
+    FaultSurface,
+    ProducerStall,
+    RequestDrop,
+    RequestDuplicate,
+    SeuBitFlip,
+    sample_fault,
+)
+from repro.flow import build_simulation, compile_design
+from tests.conftest import PIPELINE_SOURCE
+
+
+@pytest.fixture(scope="module")
+def surface():
+    design = compile_design(
+        PIPELINE_SOURCE, organization=Organization.ARBITRATED
+    )
+    return FaultSurface.from_simulation(build_simulation(design))
+
+
+class TestFaultSurface:
+    def test_brams_and_entries_discovered(self, surface):
+        assert surface.brams
+        assert {e.dep_id for e in surface.entries} == {"d1", "d2"}
+
+    def test_producers_and_addresses(self, surface):
+        assert set(surface.producers) == {"stage1", "stage2"}
+        assert len(surface.guarded_addresses) == len(
+            {e.base_address for e in surface.entries}
+        )
+
+    def test_clients_are_threads(self, surface):
+        assert set(surface.clients) == {"stage1", "stage2", "stage3"}
+
+    def test_event_driven_surface_recovers_entries(self):
+        design = compile_design(
+            PIPELINE_SOURCE, organization=Organization.EVENT_DRIVEN
+        )
+        ed_surface = FaultSurface.from_simulation(build_simulation(design))
+        assert {e.dep_id for e in ed_surface.entries} == {"d1", "d2"}
+
+
+class TestSampler:
+    def test_same_seed_same_faults(self, surface):
+        first = [
+            sample_fault(random.Random(42), kind, surface, 400)
+            for kind in FAULT_KINDS
+        ]
+        second = [
+            sample_fault(random.Random(42), kind, surface, 400)
+            for kind in FAULT_KINDS
+        ]
+        assert first == second
+
+    def test_every_kind_sampleable(self, surface):
+        rng = random.Random(1)
+        kinds = {
+            type(sample_fault(rng, kind, surface, 400))
+            for kind in FAULT_KINDS
+        }
+        assert kinds == {
+            SeuBitFlip,
+            ProducerStall,
+            RequestDrop,
+            RequestDuplicate,
+            DeplistCorruption,
+        }
+
+    def test_fire_cycle_within_horizon(self, surface):
+        rng = random.Random(9)
+        for kind in FAULT_KINDS * 10:
+            fault = sample_fault(rng, kind, surface, 100)
+            assert 1 <= fault.at_cycle < 100
+
+    def test_unknown_kind_rejected(self, surface):
+        with pytest.raises(ValueError):
+            sample_fault(random.Random(0), "cosmic-ray", surface, 100)
+
+    def test_describe_names_the_kind(self, surface):
+        rng = random.Random(3)
+        for kind in FAULT_KINDS:
+            fault = sample_fault(rng, kind, surface, 200)
+            assert fault.kind == kind
+            assert kind in fault.describe()

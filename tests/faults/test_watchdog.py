@@ -1,0 +1,148 @@
+"""Unit tests for the runtime watchdog and its recovery policies."""
+
+import pytest
+
+from repro.core import (
+    ArbitratedController,
+    ControllerError,
+    MemRequest,
+    RuntimeDeadlockError,
+    WatchdogTimeout,
+)
+from repro.faults import RecoveryPolicy, Watchdog
+from repro.memory import BlockRam, DependencyEntry, DependencyList
+from repro.sim import SimulationKernel
+
+
+def make_rig(consumers=1):
+    names = [f"c{i}" for i in range(consumers)]
+    deplist = DependencyList(
+        bram="bram0",
+        entries=[DependencyEntry("d0", consumers, 0, "prod", tuple(names))],
+    )
+    controller = ArbitratedController(
+        BlockRam("bram0"), deplist, names, ["prod"]
+    )
+    kernel = SimulationKernel(executors={}, controllers={"bram0": controller})
+    return kernel, controller
+
+
+def blocked_read_traffic(controller):
+    """Keep re-submitting a guarded read that can never be granted (the
+    producer never writes), until a grant ever happens."""
+
+    def hook(cycle, kernel):
+        if not controller.waits_for(port="C"):
+            controller.submit(MemRequest("c0", "C", 0, False, dep_id="d0"))
+
+    return hook
+
+
+class TestConstruction:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            Watchdog(read_timeout=0)
+        with pytest.raises(ValueError):
+            Watchdog(deadlock_window=0)
+
+    def test_policy_accepts_strings(self):
+        assert Watchdog(policy="warn-continue").policy is (
+            RecoveryPolicy.WARN_CONTINUE
+        )
+
+    def test_registered_in_kernel_context(self):
+        kernel, __ = make_rig()
+        watchdog = Watchdog().attach(kernel)
+        assert kernel.context["watchdog"] is watchdog
+
+
+class TestBlockedReadTimeout:
+    def test_abort_raises_structured_error(self):
+        kernel, controller = make_rig()
+        kernel.add_pre_cycle_hook(blocked_read_traffic(controller))
+        Watchdog(read_timeout=5, deadlock_window=10_000, policy="abort").attach(
+            kernel
+        )
+        with pytest.raises(WatchdogTimeout) as exc_info:
+            kernel.run(50)
+        error = exc_info.value
+        assert isinstance(error, ControllerError)
+        assert error.bram == "bram0"
+        assert error.client == "c0"
+        assert error.blocked_cycles >= 5
+        assert "blocked" in error.describe()
+
+    def test_warn_continue_records_one_event_and_survives(self):
+        kernel, controller = make_rig()
+        kernel.add_pre_cycle_hook(blocked_read_traffic(controller))
+        watchdog = Watchdog(
+            read_timeout=5, deadlock_window=10_000, policy="warn-continue"
+        ).attach(kernel)
+        kernel.run(30)
+        assert kernel.cycle == 30
+        assert watchdog.tripped
+        # The same blocked streak is reported once, not every cycle.
+        assert len(watchdog.events) == 1
+        event = watchdog.events[0]
+        assert event.kind == "blocked-read-timeout"
+        assert event.action == "warned"
+
+    def test_break_dependency_unblocks_the_read(self):
+        kernel, controller = make_rig()
+        kernel.add_pre_cycle_hook(blocked_read_traffic(controller))
+        watchdog = Watchdog(
+            read_timeout=5, deadlock_window=10_000, policy="break-dependency"
+        ).attach(kernel)
+        kernel.run(30)
+        waits = controller.waits_for(port="C")
+        assert len(waits) == 1  # the stuck read eventually completed
+        assert waits[0] >= 5
+        assert watchdog.degradations
+        assert watchdog.events[0].action == "broke-dependency"
+
+    def test_no_events_below_threshold(self):
+        kernel, controller = make_rig()
+        kernel.add_pre_cycle_hook(blocked_read_traffic(controller))
+        watchdog = Watchdog(
+            read_timeout=100, deadlock_window=10_000, policy="abort"
+        ).attach(kernel)
+        kernel.run(50)
+        assert not watchdog.tripped
+
+
+class TestSystemDeadlock:
+    def test_abort_raises_runtime_deadlock(self):
+        kernel, controller = make_rig()
+        kernel.add_pre_cycle_hook(blocked_read_traffic(controller))
+        Watchdog(
+            read_timeout=10_000, deadlock_window=8, policy="abort"
+        ).attach(kernel)
+        with pytest.raises(RuntimeDeadlockError) as exc_info:
+            kernel.run(100)
+        assert exc_info.value.stalled_cycles == 8
+        assert "no executor progress" in str(exc_info.value)
+
+    def test_idle_system_is_not_a_deadlock(self):
+        # Zero progress with zero blocked requests is quiescence, not
+        # deadlock: a finished program must not trip the detector.
+        kernel, __ = make_rig()
+        watchdog = Watchdog(
+            read_timeout=10_000, deadlock_window=8, policy="abort"
+        ).attach(kernel)
+        kernel.run(100)
+        assert not watchdog.tripped
+
+    def test_report_renders_events(self):
+        kernel, controller = make_rig()
+        kernel.add_pre_cycle_hook(blocked_read_traffic(controller))
+        watchdog = Watchdog(
+            read_timeout=10_000, deadlock_window=8, policy="warn-continue"
+        ).attach(kernel)
+        kernel.run(40)
+        assert "system-deadlock" in watchdog.report()
+
+    def test_quiet_report(self):
+        kernel, __ = make_rig()
+        watchdog = Watchdog().attach(kernel)
+        kernel.run(5)
+        assert watchdog.report() == "watchdog: no events"

@@ -1,0 +1,75 @@
+"""Dynamic deadlock detection, and its agreement with the static check.
+
+The static analysis (:mod:`repro.analysis.deadlock`) rejects
+``DEADLOCK_SOURCE`` at compile time.  If the check is bypassed (as a
+corrupted or hand-patched configuration would), the built design really
+does deadlock at runtime — and the watchdog must turn that silent hang
+into a structured, attributable error.  Both detectors must agree on both
+the deadlocking program and the cyclic-but-safe control program.
+"""
+
+import pytest
+
+from repro.analysis.deadlock import check_deadlock
+from repro.core import Organization, RuntimeDeadlockError
+from repro.faults import Watchdog
+from repro.flow import build_simulation, compile_design
+from repro.hic import analyze
+from tests.conftest import CYCLE_NO_DEADLOCK_SOURCE, DEADLOCK_SOURCE
+
+
+def build_unchecked(source, organization=Organization.ARBITRATED):
+    design = compile_design(
+        source, organization=organization, check_deadlock=False
+    )
+    return build_simulation(design)
+
+
+class TestAgreementOnDeadlock:
+    def test_static_check_flags_it(self):
+        assert check_deadlock(analyze(DEADLOCK_SOURCE)).deadlocked
+
+    def test_watchdog_aborts_with_structured_error(self):
+        sim = build_unchecked(DEADLOCK_SOURCE)
+        Watchdog(
+            read_timeout=10_000, deadlock_window=50, policy="abort"
+        ).attach(sim)
+        with pytest.raises(RuntimeDeadlockError) as exc_info:
+            sim.run(2_000)
+        error = exc_info.value
+        assert error.stalled_cycles == 50
+        assert error.cycle is not None and error.cycle < 2_000
+        assert "runtime-deadlock" in error.describe()
+
+    def test_warn_policy_reports_instead_of_hanging_silently(self):
+        sim = build_unchecked(DEADLOCK_SOURCE)
+        watchdog = Watchdog(
+            read_timeout=10_000, deadlock_window=50, policy="warn-continue"
+        ).attach(sim)
+        sim.run(300)
+        kinds = {event.kind for event in watchdog.events}
+        assert "system-deadlock" in kinds
+
+    def test_read_timeout_also_sees_the_stuck_consumers(self):
+        sim = build_unchecked(DEADLOCK_SOURCE)
+        watchdog = Watchdog(
+            read_timeout=40, deadlock_window=10_000, policy="warn-continue"
+        ).attach(sim)
+        sim.run(300)
+        assert any(
+            event.kind == "blocked-read-timeout" for event in watchdog.events
+        )
+
+
+class TestAgreementOnSafeCycle:
+    def test_static_check_passes(self):
+        assert not check_deadlock(analyze(CYCLE_NO_DEADLOCK_SOURCE)).deadlocked
+
+    def test_watchdog_stays_quiet(self):
+        sim = build_unchecked(CYCLE_NO_DEADLOCK_SOURCE)
+        watchdog = Watchdog(
+            read_timeout=64, deadlock_window=128, policy="abort"
+        ).attach(sim)
+        result = sim.run(1_000)
+        assert result.cycles_run == 1_000
+        assert not watchdog.tripped

@@ -36,11 +36,13 @@ class TestReadme:
     def test_documented_flags_exist(self):
         # Every CLI flag the README mentions must be real.
         from repro.__main__ import _parser
+        from repro.faults.campaign import _faults_parser
 
         text = README.read_text()
         parser_flags = {
             option
-            for action in _parser()._actions
+            for parser in (_parser(), _faults_parser())
+            for action in parser._actions
             for option in action.option_strings
         }
         for flag in re.findall(r"--[a-z][a-z-]+", text):
