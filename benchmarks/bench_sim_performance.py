@@ -3,8 +3,14 @@
 Not a paper experiment — this group tracks the reproduction's own
 performance so regressions in the simulator kernel or the flow driver are
 visible: cycles simulated per second for the 4-consumer forwarding design,
-and full-flow compilation latency.
+full-flow compilation latency, and the telemetry layer's overhead (the
+observability budget: < 10% on the fully traced path, a no-op when
+disabled).  The overhead test also emits ``BENCH_sim.json`` at the repo
+root — the machine-readable artifact CI uploads.
 """
+
+import time
+from pathlib import Path
 
 import pytest
 
@@ -16,8 +22,15 @@ from repro.net import (
     forwarding_functions,
     forwarding_source,
 )
+from repro.obs.exporters import summary_dict, write_bench_json
 
 CYCLES = 1000
+
+#: Acceptance budget: traced simulation may cost at most this factor of
+#: the untraced one.
+OVERHEAD_BUDGET = 1.10
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +56,91 @@ def test_simulation_throughput(benchmark, forwarding_design):
     assert sim.tx["eth_out"].count > 0
     mean_s = benchmark.stats.stats.mean
     benchmark.extra_info["cycles_per_second"] = round(CYCLES / mean_s)
+
+
+@pytest.mark.benchmark(group="harness")
+def test_simulation_throughput_with_telemetry(benchmark, forwarding_design):
+    functions = forwarding_functions(demo_table())
+
+    def run():
+        sim = build_simulation(forwarding_design, functions=functions)
+        sim.attach_telemetry()
+        generator = BernoulliTraffic(rate=0.06, seed=1)
+        sim.kernel.add_pre_cycle_hook(generator.attach(sim.rx["eth_in"]))
+        sim.run(CYCLES)
+        return sim
+
+    sim = benchmark(run)
+    telemetry = sim.telemetry
+    assert telemetry.cycles_observed == CYCLES
+    assert telemetry.spans.complete_spans()
+    mean_s = benchmark.stats.stats.mean
+    benchmark.extra_info["cycles_per_second"] = round(CYCLES / mean_s)
+    benchmark.extra_info["events_recorded"] = len(telemetry.events)
+
+
+def _timed_run(design, functions, with_telemetry):
+    """One simulation run; returns (seconds spent inside run(), sim)."""
+    sim = build_simulation(design, functions=functions)
+    if with_telemetry:
+        sim.attach_telemetry()
+    generator = BernoulliTraffic(rate=0.06, seed=1)
+    sim.kernel.add_pre_cycle_hook(generator.attach(sim.rx["eth_in"]))
+    start = time.perf_counter()
+    sim.run(CYCLES)
+    return time.perf_counter() - start, sim
+
+
+@pytest.mark.benchmark(group="harness")
+def test_telemetry_overhead_budget(benchmark, forwarding_design):
+    """Tracing + metrics must cost < 10% of the untraced cycles/sec.
+
+    Min-of-N timing on both sides to suppress scheduler noise; the
+    benchmark fixture times the traced path, so its numbers land in the
+    benchmark report too.  Also writes ``BENCH_sim.json``.
+    """
+    functions = forwarding_functions(demo_table())
+    reps = 7
+
+    def traced():
+        return _timed_run(forwarding_design, functions, True)
+
+    # One warmed-up traced round through the benchmark fixture so the
+    # traced path shows up in the benchmark report.
+    elapsed, sim = benchmark.pedantic(traced, rounds=1, warmup_rounds=1)
+
+    # Interleave the two sides so CPU-frequency drift during the
+    # measurement hits both alike; min-of-N suppresses scheduler noise.
+    disabled_times = []
+    enabled_times = [elapsed]
+    for __ in range(reps):
+        disabled_times.append(
+            _timed_run(forwarding_design, functions, False)[0]
+        )
+        enabled_times.append(traced()[0])
+    disabled = min(disabled_times)
+    enabled = min(enabled_times)
+
+    ratio = enabled / disabled
+    benchmark.extra_info["overhead_ratio"] = round(ratio, 4)
+    benchmark.extra_info["cycles_per_second_disabled"] = round(
+        CYCLES / disabled
+    )
+    benchmark.extra_info["cycles_per_second_enabled"] = round(CYCLES / enabled)
+    assert ratio < OVERHEAD_BUDGET, (
+        f"telemetry overhead {ratio:.3f}x exceeds {OVERHEAD_BUDGET}x budget"
+    )
+
+    payload = {
+        "schema": "repro.bench.sim/1",
+        "cycles": CYCLES,
+        "cycles_per_second_disabled": round(CYCLES / disabled),
+        "cycles_per_second_enabled": round(CYCLES / enabled),
+        "telemetry_overhead_ratio": round(ratio, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "telemetry_summary": summary_dict(sim.telemetry),
+    }
+    write_bench_json(str(BENCH_JSON_PATH), payload)
 
 
 @pytest.mark.benchmark(group="harness")

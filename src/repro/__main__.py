@@ -66,6 +66,54 @@ def _parser() -> argparse.ArgumentParser:
         help="write a VCD trace of the simulation to FILE",
     )
     parser.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help=(
+            "write a Chrome trace-event JSON (Perfetto-loadable) of the "
+            "simulation to FILE (implies --simulate 1000 if not given)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write Prometheus text-format metrics of the simulation to FILE",
+    )
+    parser.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help="write a JSON telemetry summary of the simulation to FILE",
+    )
+    parser.add_argument(
+        "--summary-csv",
+        metavar="FILE",
+        help="write a CSV metrics dump of the simulation to FILE",
+    )
+    parser.add_argument(
+        "--trace-level",
+        choices=["deps", "full"],
+        default="deps",
+        help=(
+            "event granularity: 'deps' records dependency-lifecycle events "
+            "only; 'full' also records every submit/grant (default: deps)"
+        ),
+    )
+    parser.add_argument(
+        "--traffic-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "drive each ingress interface with seeded Bernoulli traffic "
+            "(probability P of a new message per cycle) during --simulate"
+        ),
+    )
+    parser.add_argument(
+        "--traffic-seed",
+        type=int,
+        default=1,
+        help="seed for --traffic-rate generators (default: 1)",
+    )
+    parser.add_argument(
         "--no-deadlock-check",
         action="store_true",
         help="skip the static deadlock check",
@@ -152,8 +200,26 @@ def main(argv: list[str] | None = None) -> int:
             f"wrote {len(design.fsms)} thread FSMs to {args.thread_verilog}/"
         )
 
+    telemetry_outputs = [
+        args.trace_json, args.metrics, args.summary_json, args.summary_csv
+    ]
+    if any(telemetry_outputs) and args.simulate <= 0:
+        # Telemetry without an explicit horizon: run a default 1000 cycles.
+        args.simulate = 1000
+
     if args.simulate > 0:
         sim = build_simulation(design)
+        telemetry = None
+        if any(telemetry_outputs):
+            telemetry = sim.attach_telemetry(trace_level=args.trace_level)
+        if args.traffic_rate > 0:
+            from .net import BernoulliTraffic
+
+            for index, rx in enumerate(sim.rx.values()):
+                generator = BernoulliTraffic(
+                    rate=args.traffic_rate, seed=args.traffic_seed + index
+                )
+                sim.kernel.add_pre_cycle_hook(generator.attach(rx))
         vcd = None
         if args.vcd:
             vcd = VcdWriter(timescale="8 ns")
@@ -178,6 +244,26 @@ def main(argv: list[str] | None = None) -> int:
         if vcd is not None and args.vcd:
             vcd.write(args.vcd)
             print(f"wrote VCD trace to {args.vcd}")
+        if telemetry is not None:
+            from .obs.exporters import (
+                write_chrome_trace,
+                write_prometheus,
+                write_summary_csv,
+                write_summary_json,
+            )
+
+            if args.trace_json:
+                write_chrome_trace(telemetry, args.trace_json)
+                print(f"wrote Chrome trace to {args.trace_json}")
+            if args.metrics:
+                write_prometheus(telemetry, args.metrics)
+                print(f"wrote Prometheus metrics to {args.metrics}")
+            if args.summary_json:
+                write_summary_json(telemetry, args.summary_json)
+                print(f"wrote telemetry summary to {args.summary_json}")
+            if args.summary_csv:
+                write_summary_csv(telemetry, args.summary_csv)
+                print(f"wrote metrics CSV to {args.summary_csv}")
 
     return 0
 

@@ -151,9 +151,23 @@ class ArbitratedController(MemoryController):
             request = next(r for r in d_allowed if r.client == winner)
             results[request.client] = self._perform(request)
             self.deplist.note_producer_write(request.address, request.client, request.dep_id)
+            if self.observer is not None:
+                entry = self.deplist.match_for_write(
+                    request.address, request.client, request.dep_id
+                )
+                self.observer.on_dep_armed(
+                    self.bram.name,
+                    entry.dep_id if entry is not None else request.dep_id,
+                    request.client,
+                    request.address,
+                    cycle,
+                    entry.outstanding if entry is not None else 0,
+                )
             if by_port["C"]:
                 # A waiting (blocked) port-C read was overridden (§3.1).
                 self.override_count += 1
+                if self.observer is not None:
+                    self.observer.on_override(self.bram.name, cycle)
         elif selected == "C":
             winner = self._arb_c.grant({r.client for r in c_allowed})
             request = next(r for r in c_allowed if r.client == winner)
@@ -161,15 +175,22 @@ class ArbitratedController(MemoryController):
             # A read whose address no longer matches any entry (possible
             # only if the list's configuration was upset at runtime) is a
             # plain read of whatever the BRAM holds: nothing to decrement.
-            if (
-                self.deplist.match_for_read(
-                    request.address, request.client, request.dep_id
-                )
-                is not None
-            ):
+            entry = self.deplist.match_for_read(
+                request.address, request.client, request.dep_id
+            )
+            if entry is not None:
                 self.deplist.note_consumer_read(
                     request.address, request.client, request.dep_id
                 )
+                if self.observer is not None:
+                    self.observer.on_dep_decrement(
+                        self.bram.name,
+                        entry.dep_id,
+                        request.client,
+                        request.address,
+                        cycle,
+                        entry.outstanding,
+                    )
         elif selected == "B":
             chosen = min(b_allowed, key=lambda r: r.client)
             results[chosen.client] = self._perform(chosen)

@@ -91,6 +91,15 @@ class MemoryController(abc.ABC):
         self.request_taps: list[RequestTap] = []
         #: requests left ungranted by the most recent ``arbitrate`` call
         self.blocked: list[BlockedRequest] = []
+        #: telemetry seam (:class:`repro.obs.Telemetry`); every call site
+        #: is guarded by ``is not None`` so the disabled path costs one
+        #: attribute check
+        self.observer = None
+        #: separate seam for per-submission notifications — only set for
+        #: "full"-level tracing, because submits are the hottest call
+        #: site and "deps"-level telemetry derives submission counts
+        #: from grants instead (see ``unfinished_request_counts``)
+        self.submit_observer = None
 
     # -- cycle protocol ------------------------------------------------------------
 
@@ -101,8 +110,15 @@ class MemoryController(abc.ABC):
             if tapped is None:
                 return  # dropped at the port
             request = tapped
-        self._pending[request.key] = request
-        self._issue_cycle.setdefault(request.key, self.cycle)
+        key = request.key
+        self._pending[key] = request
+        if key not in self._issue_cycle:
+            self._issue_cycle[key] = self.cycle
+            # Notify only on the first submission: re-submissions while
+            # blocked model the request lines staying asserted, not new
+            # requests.
+            if self.submit_observer is not None:
+                self.submit_observer.on_submit(self.bram.name, request)
 
     def arbitrate(self, cycle: int) -> dict[str, MemResult]:
         """Apply the organization's policy for one cycle."""
@@ -112,15 +128,16 @@ class MemoryController(abc.ABC):
             request = self._pending[key]
             result = results.get(request.client)
             if result is not None and result.granted:
-                self.latency_samples.append(
-                    LatencySample(
-                        client=request.client,
-                        port=request.port,
-                        dep_id=request.dep_id,
-                        issue_cycle=self._issue_cycle.pop(key),
-                        grant_cycle=cycle,
-                    )
+                sample = LatencySample(
+                    client=request.client,
+                    port=request.port,
+                    dep_id=request.dep_id,
+                    issue_cycle=self._issue_cycle.pop(key),
+                    grant_cycle=cycle,
                 )
+                self.latency_samples.append(sample)
+                if self.observer is not None:
+                    self.observer.on_grant(self.bram.name, request, sample)
                 del self._pending[key]
         self.blocked = [
             BlockedRequest(
@@ -165,6 +182,17 @@ class MemoryController(abc.ABC):
         self.cycle = 0
 
     # -- statistics -----------------------------------------------------------------
+
+    def unfinished_request_counts(self) -> dict[str, int]:
+        """Per-port count of requests submitted but never granted (their
+        issue cycles are still outstanding).  With the grant count this
+        reconstructs the number of distinct submissions: every first
+        submission either grants eventually or leaves its entry here."""
+        counts: dict[str, int] = {}
+        for key in self._issue_cycle:
+            port = key[1]
+            counts[port] = counts.get(port, 0) + 1
+        return counts
 
     def waits_for(
         self, port: Optional[str] = None, dep_id: Optional[str] = None

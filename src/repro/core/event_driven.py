@@ -100,12 +100,26 @@ class EventDrivenController(MemoryController):
                         self.events.append(
                             (cycle, next_slot.dep_id, next_slot.thread)
                         )
+                        if self.observer is not None:
+                            self.observer.on_chain_event(
+                                self.bram.name,
+                                next_slot.dep_id,
+                                next_slot.thread,
+                                cycle,
+                            )
                     elif not is_producer and next_slot is not None:
                         if next_slot.kind is SlotKind.CONSUMER:
                             # Chain the event into the next consumer.
                             self.events.append(
                                 (cycle, next_slot.dep_id, next_slot.thread)
                             )
+                            if self.observer is not None:
+                                self.observer.on_chain_event(
+                                    self.bram.name,
+                                    next_slot.dep_id,
+                                    next_slot.thread,
+                                    cycle,
+                                )
                     break  # one access per cycle on physical port 1
 
         return results

@@ -161,6 +161,15 @@ class LockBaselineController(MemoryController):
                     self.bram.write(address, job.request.data, cycle, "L")
                     entry.outstanding = entry.dependency_number
                     job.phase = _JobPhase.RELEASE
+                    if self.observer is not None:
+                        self.observer.on_dep_armed(
+                            self.bram.name,
+                            entry.dep_id,
+                            job.request.client,
+                            address,
+                            cycle,
+                            entry.outstanding,
+                        )
                 else:
                     self.stats.failed_probes += 1
                     job.phase = _JobPhase.BACKOFF
@@ -169,6 +178,15 @@ class LockBaselineController(MemoryController):
                     job.result_data = self.bram.read(address, cycle, "L")
                     entry.outstanding -= 1
                     job.phase = _JobPhase.RELEASE
+                    if self.observer is not None:
+                        self.observer.on_dep_decrement(
+                            self.bram.name,
+                            entry.dep_id,
+                            job.request.client,
+                            address,
+                            cycle,
+                            entry.outstanding,
+                        )
                 else:
                     self.stats.failed_probes += 1
                     job.phase = _JobPhase.BACKOFF

@@ -86,6 +86,9 @@ class Watchdog:
         self.policy = RecoveryPolicy(policy)
         self.events: list[WatchdogEvent] = []
         self.degradations: list[str] = []
+        #: telemetry seam (:class:`repro.obs.Telemetry`); wired by
+        #: whichever of watchdog/telemetry attaches second
+        self.observer = None
         self._controllers: dict[str, MemoryController] = {}
         self._reported: set[tuple] = set()
         self._last_advances: Optional[int] = None
@@ -100,6 +103,9 @@ class Watchdog:
         self._controllers = dict(kernel.controllers)
         kernel.add_post_cycle_hook(self.hook)
         kernel.context["watchdog"] = self
+        telemetry = kernel.context.get("telemetry")
+        if telemetry is not None:
+            self.observer = telemetry
         return self
 
     @property
@@ -139,11 +145,14 @@ class Watchdog:
         }[self.policy]
         if self.policy is RecoveryPolicy.BREAK_DEPENDENCY:
             if controller.force_unblock(request, cycle):
-                self.degradations.append(
+                degradation = (
                     f"cycle {cycle}: forced {name} to unblock "
                     f"{request.client} (port {request.port}, "
                     f"address {request.address})"
                 )
+                self.degradations.append(degradation)
+                if self.observer is not None:
+                    self.observer.on_recovery(cycle, degradation)
             else:
                 action = "warned"
         event = WatchdogEvent(
@@ -156,6 +165,8 @@ class Watchdog:
             blocked_cycles=blocked.blocked_cycles,
         )
         self.events.append(event)
+        if self.observer is not None:
+            self.observer.on_watchdog_event(event)
         if self.policy is RecoveryPolicy.ABORT:
             raise WatchdogTimeout(
                 f"request blocked {blocked.blocked_cycles} cycles "
@@ -198,10 +209,13 @@ class Watchdog:
             for name, blocked in blocked_anywhere:
                 if self._controllers[name].force_unblock(blocked.request, cycle):
                     recovered = True
-                    self.degradations.append(
+                    degradation = (
                         f"cycle {cycle}: deadlock break forced {name} to "
                         f"unblock {blocked.request.client}"
                     )
+                    self.degradations.append(degradation)
+                    if self.observer is not None:
+                        self.observer.on_recovery(cycle, degradation)
             if not recovered:
                 action = "warned"
             # Give the recovery a full window to restore progress before
@@ -216,6 +230,8 @@ class Watchdog:
             blocked_cycles=self._stalled_cycles or self.deadlock_window,
         )
         self.events.append(event)
+        if self.observer is not None:
+            self.observer.on_watchdog_event(event)
         if self.policy is RecoveryPolicy.ABORT:
             raise RuntimeDeadlockError(
                 f"no executor progress for {self.deadlock_window} cycles "

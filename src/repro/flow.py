@@ -223,6 +223,9 @@ class Simulation:
     executors: dict[str, ThreadExecutor]
     rx: dict[str, RxInterface] = field(default_factory=dict)
     tx: dict[str, TxInterface] = field(default_factory=dict)
+    #: telemetry handle, set by :meth:`attach_telemetry` (None = the
+    #: zero-overhead disabled path)
+    telemetry: Optional[object] = None
 
     def run(self, cycles: int, until=None):
         return self.kernel.run(cycles, until)
@@ -246,6 +249,15 @@ class Simulation:
         from .faults.injector import FaultInjector
 
         return FaultInjector(list(faults)).attach(self)
+
+    # -- observability (lazy import: repro.obs imports repro.core) -------------------
+
+    def attach_telemetry(self, **kwargs):
+        """Attach a :class:`repro.obs.Telemetry` (event tracing, span
+        assembly, metrics) and return it; also sets ``self.telemetry``."""
+        from .obs.tracer import Telemetry
+
+        return Telemetry(**kwargs).attach(self)
 
 
 def build_simulation(

@@ -1,0 +1,69 @@
+"""Unified telemetry: dependency-lifecycle tracing, metrics, exporters.
+
+The observability layer over the simulator and memory controllers:
+
+* :mod:`~repro.obs.events` — structured cycle events;
+* :mod:`~repro.obs.spans` — dependency-lifecycle span assembly
+  (producer write → guard armed → blocked wait → consumer reads →
+  counter drain);
+* :mod:`~repro.obs.metrics` — a labelled counter/gauge/histogram
+  registry with Prometheus text exposition;
+* :mod:`~repro.obs.tracer` — :class:`Telemetry`, the observer that
+  attaches to a simulation (zero overhead when not attached: every
+  seam is a single ``is not None`` check);
+* :mod:`~repro.obs.exporters` — Chrome trace-event JSON (Perfetto),
+  Prometheus text, and JSON/CSV summaries, all byte-deterministic for
+  a fixed simulation seed.
+
+See ``docs/observability.md`` for the event schema and span model.
+"""
+
+from .events import EventKind, TraceEvent
+from .exporters import (
+    chrome_trace,
+    dumps_chrome_trace,
+    dumps_summary,
+    prometheus_text,
+    summary_dict,
+    validate_chrome_trace,
+    write_bench_json,
+    write_chrome_trace,
+    write_prometheus,
+    write_summary_csv,
+    write_summary_json,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import ConsumerRead, DependencySpan, SpanAssembler
+from .tracer import Telemetry, attach_telemetry
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "dumps_summary",
+    "prometheus_text",
+    "summary_dict",
+    "validate_chrome_trace",
+    "write_bench_json",
+    "write_chrome_trace",
+    "write_prometheus",
+    "write_summary_csv",
+    "write_summary_json",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ConsumerRead",
+    "DependencySpan",
+    "SpanAssembler",
+    "Telemetry",
+    "attach_telemetry",
+]

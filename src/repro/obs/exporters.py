@@ -1,0 +1,329 @@
+"""Machine-readable exporters over a :class:`~repro.obs.tracer.Telemetry`.
+
+Three formats:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — loadable in Perfetto or
+  ``chrome://tracing``.  Dependency spans and consumer reads become
+  complete ("X") events on per-controller and per-thread tracks;
+  watchdog firings, port-C overrides, and chained events become
+  instants ("i").  One simulation cycle maps to one microsecond of
+  trace time.
+* **Prometheus text exposition** (:func:`prometheus_text` /
+  :func:`write_prometheus`) — the metrics registry, verbatim.
+* **JSON/CSV summaries** (:func:`summary_dict`,
+  :func:`write_summary_json`, :func:`write_summary_csv`) — the
+  aggregate the benchmark harness reuses to emit ``BENCH_sim.json``.
+
+All exporters are deterministic: fixed key order, no wall-clock
+timestamps, no environment leakage — two runs of the same seeded
+simulation serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Optional
+
+from .events import EventKind
+from .metrics import MetricsRegistry
+from .tracer import Telemetry
+
+#: pid values of the two trace-event "processes" (track groups).
+THREADS_PID = 1
+CONTROLLERS_PID = 2
+
+_INSTANT_KINDS = {
+    EventKind.OVERRIDE: "override",
+    EventKind.CHAIN_EVENT: "chain",
+    EventKind.WATCHDOG: "watchdog",
+    EventKind.RECOVERY: "recovery",
+    EventKind.DEP_ARMED: "guard",
+    EventKind.DEP_DECREMENT: "guard",
+    # Recorded only at "full" trace level; absent from "deps" traces.
+    EventKind.SUBMIT: "request",
+    EventKind.GRANT: "request",
+    EventKind.ROUND_COMPLETE: "progress",
+}
+
+
+def _event_args(event) -> dict:
+    args = {}
+    for name in ("client", "port", "address", "dep_id", "value", "detail"):
+        value = getattr(event, name)
+        if value is not None:
+            args[name] = value
+    return args
+
+
+def chrome_trace(telemetry: Telemetry) -> dict:
+    """Render the telemetry record as a trace-event JSON document."""
+    threads = telemetry.thread_names()
+    controllers = telemetry.controller_names()
+    thread_tid = {name: tid for tid, name in enumerate(threads, start=1)}
+    controller_tid = {name: tid for tid, name in enumerate(controllers, start=1)}
+
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": THREADS_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "threads"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": CONTROLLERS_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "memory controllers"},
+        },
+    ]
+    for name, tid in thread_tid.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": THREADS_PID,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+    for name, tid in controller_tid.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": CONTROLLERS_PID,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+
+    # Dependency-lifecycle spans on the controller tracks.
+    for span in telemetry.spans.spans:
+        end = span.complete_cycle if span.complete else span.last_activity
+        events.append(
+            {
+                "name": f"{span.dep_id}#{span.instance}",
+                "cat": "dependency",
+                "ph": "X",
+                "pid": CONTROLLERS_PID,
+                "tid": controller_tid.get(span.bram, 0),
+                "ts": span.write_cycle,
+                "dur": max(0, end - span.write_cycle),
+                "args": {
+                    "producer": span.producer,
+                    "reads": len(span.reads),
+                    "expected_reads": span.expected_reads,
+                    "complete": span.complete,
+                    "post_write_latencies": span.post_write_latencies(),
+                },
+            }
+        )
+        # Each consumer read: a slice on the reading thread's track,
+        # spanning its blocked wait (issue -> grant).
+        for read in span.reads:
+            events.append(
+                {
+                    "name": f"read {span.dep_id}",
+                    "cat": "consumer-read",
+                    "ph": "X",
+                    "pid": THREADS_PID,
+                    "tid": thread_tid.get(read.client, 0),
+                    "ts": read.issue_cycle,
+                    "dur": max(0, read.grant_cycle - read.issue_cycle),
+                    "args": {
+                        "bram": span.bram,
+                        "dep_id": span.dep_id,
+                        "wait_cycles": read.wait_cycles,
+                        "post_write_latency": read.grant_cycle
+                        - span.write_cycle,
+                    },
+                }
+            )
+
+    # Instant events for the remaining structured record.
+    for event in telemetry.events:
+        category = _INSTANT_KINDS.get(event.kind)
+        if category is None:
+            continue
+        if event.source in controller_tid:
+            pid, tid = CONTROLLERS_PID, controller_tid[event.source]
+        elif event.source in thread_tid:
+            pid, tid = THREADS_PID, thread_tid[event.source]
+        else:
+            pid, tid = CONTROLLERS_PID, 0
+        events.append(
+            {
+                "name": event.kind,
+                "cat": category,
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": event.cycle,
+                "args": _event_args(event),
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "cycles": telemetry.cycles_observed,
+            "time_unit": "1 cycle = 1 us",
+        },
+    }
+
+
+def validate_chrome_trace(document: dict) -> None:
+    """Schema-check a trace-event document; raises ``ValueError``.
+
+    Checks the subset of the trace-event format the exporter emits:
+    a ``traceEvents`` array whose entries carry a name, a known phase,
+    integer pid/tid, a non-negative timestamp, and — for complete
+    events — a non-negative duration.
+    """
+    if not isinstance(document, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document must contain a traceEvents array")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        where = f"traceEvents[{index}]"
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}: missing name")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M", "C", "b", "e", "B", "E"):
+            raise ValueError(f"{where}: unknown phase {phase!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: {key} must be an integer")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: ts must be a non-negative number")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: X event needs non-negative dur")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            raise ValueError(f"{where}: instant scope must be t/p/g")
+
+
+def dumps_chrome_trace(telemetry: Telemetry) -> str:
+    """Serialize with a fixed key order — byte-identical across runs."""
+    document = chrome_trace(telemetry)
+    validate_chrome_trace(document)
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_chrome_trace(telemetry))
+
+
+# -- Prometheus ------------------------------------------------------------------------
+
+
+def prometheus_text(telemetry: Telemetry) -> str:
+    return telemetry.finalize().render_prometheus()
+
+
+def write_prometheus(telemetry: Telemetry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(telemetry))
+
+
+# -- JSON/CSV summary ------------------------------------------------------------------
+
+
+def summary_dict(telemetry: Telemetry) -> dict:
+    """The aggregate summary: threads, controllers, dependencies, metrics."""
+    registry: MetricsRegistry = telemetry.finalize()
+    threads = {}
+    for name in telemetry.thread_names():
+        stats = telemetry._executors[name].stats
+        threads[name] = {
+            "cycles": stats.cycles,
+            "stall_cycles": stats.stall_cycles,
+            "advances": stats.advances,
+            "rounds_completed": stats.rounds_completed,
+            "utilization": round(stats.utilization, 6),
+        }
+    controllers = {}
+    for name in telemetry.controller_names():
+        controller = telemetry._controllers[name]
+        controllers[name] = {
+            "latency_samples": len(controller.latency_samples),
+            "pending_blocked": len(controller.blocked),
+        }
+    dependencies = {
+        f"{bram}/{dep_id}": stats
+        for (bram, dep_id), stats in telemetry.spans.wait_statistics().items()
+    }
+    return {
+        "schema": "repro.obs.summary/1",
+        "cycles": telemetry.cycles_observed,
+        "events": len(telemetry.events),
+        "spans": {
+            "total": len(telemetry.spans.spans),
+            "complete": len(telemetry.spans.complete_spans()),
+        },
+        "threads": threads,
+        "controllers": controllers,
+        "dependencies": dependencies,
+        "metrics": registry.to_dict(),
+    }
+
+
+def dumps_summary(telemetry: Telemetry) -> str:
+    return (
+        json.dumps(summary_dict(telemetry), sort_keys=True, indent=2) + "\n"
+    )
+
+
+def write_summary_json(telemetry: Telemetry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_summary(telemetry))
+
+
+def write_summary_csv(telemetry: Telemetry, path: str) -> None:
+    """Flat CSV of every metric sample: name, type, labels, value."""
+    registry = telemetry.finalize()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["metric", "type", "labels", "value"])
+        for metric in registry:
+            for key, value in metric.samples():
+                labels = ";".join(
+                    f"{n}={v}" for n, v in zip(metric.label_names, key)
+                )
+                if metric.type_name == "histogram":
+                    writer.writerow(
+                        [metric.name, "histogram", labels, value.total]
+                    )
+                    writer.writerow(
+                        [f"{metric.name}_sum", "histogram", labels, value.sum]
+                    )
+                else:
+                    writer.writerow(
+                        [metric.name, metric.type_name, labels, value]
+                    )
+
+
+# -- benchmark artifact ----------------------------------------------------------------
+
+
+def write_bench_json(path: str, payload: dict) -> None:
+    """Write a ``BENCH_*.json`` artifact with stable formatting."""
+    with open(path, "w") as handle:
+        handle.write(json.dumps(payload, sort_keys=True, indent=2) + "\n")

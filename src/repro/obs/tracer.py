@@ -1,0 +1,539 @@
+"""The event tracer / telemetry front-end.
+
+One :class:`Telemetry` object attaches to a simulation and becomes the
+*observer* of its kernel, controllers, and (if present) watchdog.  All
+instrumentation points in the instrumented modules are guarded by an
+``if self.observer is not None`` check, so a simulation without telemetry
+pays exactly one attribute test per seam — the disabled path is a no-op.
+
+The hot path keeps only plain-dict accumulators and event appends; the
+:class:`~repro.obs.metrics.MetricsRegistry` is materialized from those
+accumulators by :meth:`Telemetry.finalize` (idempotent — exporters call
+it for you).  Everything recorded is a pure function of the simulation,
+so a fixed seed yields byte-identical exports (see
+:mod:`repro.obs.exporters`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.controller import LatencySample, MemRequest
+from .events import EventKind, TraceEvent
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+from .spans import SpanAssembler
+
+#: Trace verbosity: "deps" records dependency-lifecycle events only;
+#: "full" additionally records every grant and submit.
+TRACE_LEVELS = ("deps", "full")
+
+
+class Telemetry:
+    """Structured event tracing + metrics over one simulation run.
+
+    Usage::
+
+        sim = build_simulation(design)
+        telemetry = Telemetry().attach(sim)
+        sim.run(1000)
+        write_chrome_trace(telemetry, "trace.json")
+        write_prometheus(telemetry, "metrics.prom")
+    """
+
+    def __init__(
+        self,
+        *,
+        trace_level: str = "deps",
+        wait_buckets: tuple = DEFAULT_BUCKETS,
+    ):
+        if trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"trace_level must be one of {TRACE_LEVELS}, got {trace_level!r}"
+            )
+        self.trace_level = trace_level
+        self._full = trace_level == "full"
+        self.wait_buckets = tuple(wait_buckets)
+        self.events: list[TraceEvent] = []
+        self.spans = SpanAssembler()
+        self.registry = MetricsRegistry()
+        self.kernel = None
+        self._controllers: dict = {}
+        self._executors: dict = {}
+        self._tx: dict = {}
+        # hot-path accumulators (materialized into the registry lazily)
+        self._granted: dict[tuple[str, str], int] = {}
+        #: bram -> peak simultaneously blocked requests (sampled per cycle)
+        self._blocked_peak: dict[str, int] = {}
+        self._waits: dict[tuple[str, str, str], list[int]] = {}
+        self._grant_waits: dict[tuple[str, str], list[int]] = {}
+        self._overrides: dict[str, int] = {}
+        self._chain_events: dict[tuple[str, str], int] = {}
+        self._watchdog: dict[tuple[str, str], int] = {}
+        self._recoveries = 0
+        self._stats_watch: list = []
+        self._controller_items: list = []
+        self.cycles_observed = 0
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def attach(self, target) -> "Telemetry":
+        """Wire into a :class:`repro.flow.Simulation` (or a bare kernel)."""
+        kernel = getattr(target, "kernel", target)
+        self.kernel = kernel
+        self._controllers = dict(kernel.controllers)
+        self._executors = dict(kernel.executors)
+        self._tx = dict(getattr(target, "tx", {}) or {})
+        for controller in self._controllers.values():
+            controller.observer = self
+            # The submit seam is the hottest instrumentation point, and
+            # at "deps" level its only product (the submission counter)
+            # is derivable from grants at finalize time — so only
+            # "full"-level tracing pays for the callback.
+            if self._full:
+                controller.submit_observer = self
+        kernel.observer = self
+        kernel.context["telemetry"] = self
+        watchdog = kernel.context.get("watchdog")
+        if watchdog is not None:
+            watchdog.observer = self
+        if hasattr(target, "telemetry"):
+            target.telemetry = self
+        # Hot-path views: the stats objects are stable per executor, so
+        # on_cycle can poll them without re-resolving attributes.  Each
+        # watch entry is [name, stats, last_rounds_seen] — a mutable
+        # slot, cheaper than a dict lookup per cycle.
+        self._stats_watch = [
+            [name, executor.stats, executor.stats.rounds_completed]
+            for name, executor in self._executors.items()
+        ]
+        self._controller_items = list(self._controllers.items())
+        self._discover_dependencies()
+        return self
+
+    def _discover_dependencies(self) -> None:
+        """Learn each dependency's expected read count (and whether it is
+        counter-backed) from the attached controllers' configuration."""
+        for bram, controller in self._controllers.items():
+            deplist = getattr(controller, "deplist", None)
+            if deplist is not None:
+                for entry in deplist.entries:
+                    self.spans.expected[(bram, entry.dep_id)] = (
+                        entry.dependency_number
+                    )
+                    self.spans.mark_counter_backed(bram, entry.dep_id)
+                continue
+            schedule = getattr(controller, "schedule", None)
+            if schedule is not None:
+                counts: dict[str, int] = {}
+                for slot in schedule.slots:
+                    if slot.kind.name == "CONSUMER":
+                        counts[slot.dep_id] = counts.get(slot.dep_id, 0) + 1
+                for dep_id, count in counts.items():
+                    self.spans.expected[(bram, dep_id)] = count
+
+    # -- controller observer callbacks -------------------------------------------------
+
+    def on_submit(self, bram: str, request: MemRequest) -> None:
+        # Only wired up at "full" level (see attach): one SUBMIT event
+        # per distinct request.
+        self.events.append(
+            TraceEvent(
+                cycle=self._controllers[bram].cycle,
+                kind=EventKind.SUBMIT,
+                source=bram,
+                client=request.client,
+                port=request.port,
+                address=request.address,
+                dep_id=request.dep_id,
+            )
+        )
+
+    def on_grant(self, bram: str, request: MemRequest, sample: LatencySample) -> None:
+        key = (bram, request.port)
+        self._granted[key] = self._granted.get(key, 0) + 1
+        # Inline `sample.wait_cycles`: a property call per grant is
+        # measurable on the traced hot path.
+        wait = sample.grant_cycle - sample.issue_cycle
+        waits = self._grant_waits.get(key)
+        if waits is None:
+            waits = self._grant_waits[key] = []
+        waits.append(wait)
+        if request.dep_id is not None:
+            dep_key = (bram, request.dep_id, request.client)
+            dep_waits = self._waits.get(dep_key)
+            if dep_waits is None:
+                dep_waits = self._waits[dep_key] = []
+            dep_waits.append(wait)
+            if request.write:
+                self.spans.open(
+                    bram, request.dep_id, request.client, sample.grant_cycle
+                )
+            else:
+                self.spans.read(
+                    bram,
+                    request.dep_id,
+                    request.client,
+                    sample.issue_cycle,
+                    sample.grant_cycle,
+                )
+        # Grant TraceEvents only at "full" level: at "deps" level the
+        # dependency lifecycle is already captured by the span assembler
+        # and the guard events, and skipping the per-grant event object
+        # keeps the traced hot path inside the overhead budget.
+        if self._full:
+            self.events.append(
+                TraceEvent(
+                    cycle=sample.grant_cycle,
+                    kind=EventKind.GRANT,
+                    source=bram,
+                    client=request.client,
+                    port=request.port,
+                    address=request.address,
+                    dep_id=request.dep_id,
+                    value=wait,
+                )
+            )
+
+    def on_dep_armed(
+        self, bram: str, dep_id: str, client: str, address: int,
+        cycle: int, outstanding: int,
+    ) -> None:
+        self.spans.armed(bram, dep_id, cycle)
+        self.events.append(
+            TraceEvent(
+                cycle=cycle,
+                kind=EventKind.DEP_ARMED,
+                source=bram,
+                client=client,
+                address=address,
+                dep_id=dep_id,
+                value=outstanding,
+            )
+        )
+
+    def on_dep_decrement(
+        self, bram: str, dep_id: str, client: str, address: int,
+        cycle: int, outstanding: int,
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                cycle=cycle,
+                kind=EventKind.DEP_DECREMENT,
+                source=bram,
+                client=client,
+                address=address,
+                dep_id=dep_id,
+                value=outstanding,
+            )
+        )
+        if outstanding == 0:
+            self.spans.drained(bram, dep_id, cycle)
+            self.events.append(
+                TraceEvent(
+                    cycle=cycle,
+                    kind=EventKind.DEP_COMPLETE,
+                    source=bram,
+                    dep_id=dep_id,
+                )
+            )
+
+    def on_override(self, bram: str, cycle: int) -> None:
+        self._overrides[bram] = self._overrides.get(bram, 0) + 1
+        self.events.append(
+            TraceEvent(cycle=cycle, kind=EventKind.OVERRIDE, source=bram)
+        )
+
+    def on_chain_event(self, bram: str, dep_id: str, thread: str, cycle: int) -> None:
+        key = (bram, dep_id)
+        self._chain_events[key] = self._chain_events.get(key, 0) + 1
+        self.events.append(
+            TraceEvent(
+                cycle=cycle,
+                kind=EventKind.CHAIN_EVENT,
+                source=bram,
+                client=thread,
+                dep_id=dep_id,
+            )
+        )
+
+    # -- watchdog observer callbacks ---------------------------------------------------
+
+    def on_watchdog_event(self, event) -> None:
+        key = (event.kind, event.action)
+        self._watchdog[key] = self._watchdog.get(key, 0) + 1
+        self.events.append(
+            TraceEvent(
+                cycle=event.cycle,
+                kind=EventKind.WATCHDOG,
+                source=event.bram or "system",
+                client=event.client,
+                dep_id=event.dep_id,
+                value=event.blocked_cycles,
+                detail=f"{event.kind} -> {event.action}",
+            )
+        )
+
+    def on_recovery(self, cycle: int, description: str) -> None:
+        self._recoveries += 1
+        self.events.append(
+            TraceEvent(
+                cycle=cycle,
+                kind=EventKind.RECOVERY,
+                source="system",
+                detail=description,
+            )
+        )
+
+    # -- kernel observer callback ------------------------------------------------------
+
+    def on_cycle(self, cycle: int, kernel) -> None:
+        self.cycles_observed += 1
+        if self._full:
+            # Per-thread ROUND_COMPLETE instants are a "full"-level
+            # nicety; the aggregate round counters come from the
+            # executor stats at finalize time either way.
+            for entry in self._stats_watch:
+                rounds = entry[1].rounds_completed
+                if rounds != entry[2]:
+                    entry[2] = rounds
+                    self.events.append(
+                        TraceEvent(
+                            cycle=cycle,
+                            kind=EventKind.ROUND_COMPLETE,
+                            source=entry[0],
+                            value=rounds,
+                        )
+                    )
+        peaks = self._blocked_peak
+        for bram, controller in self._controller_items:
+            count = len(controller.blocked)
+            if count > peaks.get(bram, 0):
+                peaks[bram] = count
+
+    # -- registry materialization ------------------------------------------------------
+
+    def finalize(self) -> MetricsRegistry:
+        """(Re)build the metrics registry from the accumulators.
+
+        Idempotent: exporters call it implicitly; calling it mid-run gives
+        a consistent snapshot of everything observed so far.
+        """
+        registry = self.registry
+        registry.clear()
+
+        # Submissions are derived, not counted on the hot path: every
+        # distinct submission either grants eventually or leaves an
+        # outstanding issue-cycle entry at the controller.
+        submitted_totals: dict[tuple[str, str], int] = dict(self._granted)
+        for bram in sorted(self._controllers):
+            counts = self._controllers[bram].unfinished_request_counts()
+            for port, count in counts.items():
+                key = (bram, port)
+                submitted_totals[key] = submitted_totals.get(key, 0) + count
+        submitted = registry.counter(
+            "sim_requests_submitted_total",
+            "Distinct requests submitted to a controller port (post fault "
+            "taps; re-assertions while blocked are not counted)",
+            labels=("bram", "port"),
+        )
+        for (bram, port), count in sorted(submitted_totals.items()):
+            submitted.inc(count, bram=bram, port=port)
+
+        granted = registry.counter(
+            "sim_requests_granted_total",
+            "Requests granted by arbitration",
+            labels=("bram", "port"),
+        )
+        for (bram, port), count in sorted(self._granted.items()):
+            granted.inc(count, bram=bram, port=port)
+
+        # Blocked request-cycles are derived, not accumulated per cycle:
+        # a granted request's wait equals exactly the cycles it sat
+        # blocked, so the per-port totals are the grant-wait sums plus
+        # the still-blocked requests' current ages.
+        blocked_totals: dict[tuple[str, str], int] = {}
+        for (bram, port), values in self._grant_waits.items():
+            total = sum(values)
+            if total:
+                blocked_totals[(bram, port)] = total
+        for bram in sorted(self._controllers):
+            for item in self._controllers[bram].blocked:
+                key = (bram, item.request.port)
+                blocked_totals[key] = (
+                    blocked_totals.get(key, 0) + item.blocked_cycles
+                )
+        blocked = registry.counter(
+            "sim_blocked_request_cycles_total",
+            "Cycles spent by requests sitting blocked at a port "
+            "(one count per blocked request per cycle)",
+            labels=("bram", "port"),
+        )
+        for (bram, port), count in sorted(blocked_totals.items()):
+            blocked.inc(count, bram=bram, port=port)
+
+        occupancy = registry.gauge(
+            "sim_controller_blocked_peak",
+            "Peak simultaneously blocked requests at a controller",
+            labels=("bram",),
+        )
+        for bram, count in sorted(self._blocked_peak.items()):
+            occupancy.set(count, bram=bram)
+
+        pending = registry.gauge(
+            "sim_port_pending",
+            "Requests still blocked at a port at snapshot time",
+            labels=("bram", "port"),
+        )
+        for bram in sorted(self._controllers):
+            per_port: dict[str, int] = {}
+            for item in self._controllers[bram].blocked:
+                port = item.request.port
+                per_port[port] = per_port.get(port, 0) + 1
+            for port, count in sorted(per_port.items()):
+                pending.set(count, bram=bram, port=port)
+
+        waits = registry.histogram(
+            "sim_dependency_wait_cycles",
+            "Blocked wait of guarded (dependency-tagged) accesses",
+            labels=("bram", "dep_id", "client"),
+            buckets=self.wait_buckets,
+        )
+        for (bram, dep_id, client), values in sorted(self._waits.items()):
+            waits.observe_many(values, bram=bram, dep_id=dep_id, client=client)
+
+        grant_waits = registry.histogram(
+            "sim_grant_wait_cycles",
+            "Blocked wait of all granted requests, per port",
+            labels=("bram", "port"),
+            buckets=self.wait_buckets,
+        )
+        for (bram, port), values in sorted(self._grant_waits.items()):
+            grant_waits.observe_many(values, bram=bram, port=port)
+
+        overrides = registry.counter(
+            "sim_port_c_overrides_total",
+            "Cycles a blocked port-C read was overridden by port D (§3.1)",
+            labels=("bram",),
+        )
+        for bram, count in sorted(self._overrides.items()):
+            overrides.inc(count, bram=bram)
+
+        chain = registry.counter(
+            "sim_chain_events_total",
+            "Events chained through the event-driven consumer schedule",
+            labels=("bram", "dep_id"),
+        )
+        for (bram, dep_id), count in sorted(self._chain_events.items()):
+            chain.inc(count, bram=bram, dep_id=dep_id)
+
+        spans_total = registry.counter(
+            "sim_dependency_spans_total",
+            "Produce-consume spans opened, by completion state",
+            labels=("bram", "dep_id", "state"),
+        )
+        for (bram, dep_id), spans in sorted(self.spans.by_dependency().items()):
+            done = sum(1 for s in spans if s.complete)
+            if done:
+                spans_total.inc(done, bram=bram, dep_id=dep_id, state="complete")
+            if len(spans) - done:
+                spans_total.inc(
+                    len(spans) - done, bram=bram, dep_id=dep_id, state="open"
+                )
+
+        watchdog = registry.counter(
+            "sim_watchdog_events_total",
+            "Watchdog detector firings, by kind and action taken",
+            labels=("kind", "action"),
+        )
+        for (kind, action), count in sorted(self._watchdog.items()):
+            watchdog.inc(count, kind=kind, action=action)
+
+        recoveries = registry.counter(
+            "sim_watchdog_recoveries_total",
+            "Forced-unblock degradations recorded by the watchdog",
+        )
+        if self._recoveries:
+            recoveries.inc(self._recoveries)
+
+        cycles = registry.gauge(
+            "sim_cycles", "Simulation cycles observed by the telemetry layer"
+        )
+        cycles.set(self.cycles_observed)
+
+        advances = registry.counter(
+            "sim_thread_advances_total",
+            "FSM transitions taken (the watchdog's progress signal)",
+            labels=("thread",),
+        )
+        rounds = registry.counter(
+            "sim_thread_rounds_total",
+            "Completed thread rounds",
+            labels=("thread",),
+        )
+        stalls = registry.counter(
+            "sim_thread_stall_cycles_total",
+            "Cycles a thread held its state waiting for a grant/message",
+            labels=("thread",),
+        )
+        utilization = registry.gauge(
+            "sim_thread_utilization",
+            "1 - stall/cycles per thread",
+            labels=("thread",),
+        )
+        for name in sorted(self._executors):
+            stats = self._executors[name].stats
+            if stats.advances:
+                advances.inc(stats.advances, thread=name)
+            if stats.rounds_completed:
+                rounds.inc(stats.rounds_completed, thread=name)
+            if stats.stall_cycles:
+                stalls.inc(stats.stall_cycles, thread=name)
+            utilization.set(round(stats.utilization, 6), thread=name)
+
+        messages = registry.counter(
+            "sim_tx_messages_total",
+            "Messages emitted on egress interfaces",
+            labels=("interface",),
+        )
+        for name in sorted(self._tx):
+            count = self._tx[name].count
+            if count:
+                messages.inc(count, interface=name)
+
+        outstanding = registry.gauge(
+            "sim_dependency_outstanding",
+            "Outstanding consumer reads per dependency at snapshot time",
+            labels=("bram", "dep_id"),
+        )
+        for bram in sorted(self._controllers):
+            deplist = getattr(self._controllers[bram], "deplist", None)
+            if deplist is None:
+                continue
+            for entry in deplist.entries:
+                outstanding.set(entry.outstanding, bram=bram, dep_id=entry.dep_id)
+
+        return registry
+
+    # -- convenience views ------------------------------------------------------------
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def thread_names(self) -> list[str]:
+        return sorted(self._executors)
+
+    def controller_names(self) -> list[str]:
+        return sorted(self._controllers)
+
+    def describe(self) -> str:
+        spans = self.spans.spans
+        return (
+            f"telemetry: {self.cycles_observed} cycles, "
+            f"{len(self.events)} events, {len(spans)} spans "
+            f"({sum(1 for s in spans if s.complete)} complete)"
+        )
+
+
+def attach_telemetry(target, **kwargs) -> Telemetry:
+    """Create a :class:`Telemetry` and attach it to ``target``."""
+    return Telemetry(**kwargs).attach(target)

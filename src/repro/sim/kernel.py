@@ -61,6 +61,11 @@ class SimulationKernel:
         #: shared scratch space for cooperating hooks (fault injectors,
         #: watchdogs, probes) — keyed by convention, e.g. ``"watchdog"``
         self.context: dict[str, object] = {}
+        #: telemetry seam (:class:`repro.obs.Telemetry`): notified once
+        #: per cycle *after* every post-cycle hook has run, so it sees
+        #: the cycle's final state (including watchdog mutations).  The
+        #: disabled path is a single ``is not None`` check.
+        self.observer = None
 
     # -- progress counters (read by the runtime watchdog) ---------------------------
 
@@ -104,6 +109,9 @@ class SimulationKernel:
 
         for hook in self._post_hooks:
             hook(self.cycle, self)
+
+        if self.observer is not None:
+            self.observer.on_cycle(self.cycle, self)
 
         self.cycle += 1
         return results

@@ -1,0 +1,48 @@
+"""Shared fixtures for the telemetry tests: seeded simulation runs."""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.net import (
+    BernoulliTraffic,
+    demo_table,
+    forwarding_functions,
+    forwarding_source,
+)
+
+
+def run_forwarding(
+    organization=Organization.ARBITRATED,
+    cycles=400,
+    consumers=4,
+    seed=1,
+    rate=0.06,
+    **telemetry_kwargs,
+):
+    """Compile + simulate the forwarding design with telemetry attached;
+    returns (sim, telemetry)."""
+    design = compile_design(
+        forwarding_source(consumers), organization=organization
+    )
+    sim = build_simulation(design, functions=forwarding_functions(demo_table()))
+    telemetry = sim.attach_telemetry(**telemetry_kwargs)
+    generator = BernoulliTraffic(rate=rate, seed=seed)
+    sim.kernel.add_pre_cycle_hook(generator.attach(sim.rx["eth_in"]))
+    sim.run(cycles)
+    return sim, telemetry
+
+
+@pytest.fixture(scope="module")
+def arbitrated_run():
+    return run_forwarding(Organization.ARBITRATED)
+
+
+@pytest.fixture(scope="module")
+def event_driven_run():
+    return run_forwarding(Organization.EVENT_DRIVEN)
+
+
+@pytest.fixture(scope="module")
+def lock_baseline_run():
+    return run_forwarding(Organization.LOCK_BASELINE)

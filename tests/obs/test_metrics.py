@@ -1,0 +1,132 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("reqs", "", ("port",))
+        c.inc(port="A")
+        c.inc(2, port="A")
+        c.inc(port="B")
+        assert c.value(port="A") == 3
+        assert c.value(port="B") == 1
+        assert c.value(port="C") == 0
+
+    def test_rejects_negative(self):
+        c = Counter("reqs", "", ())
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_rejects_wrong_labels(self):
+        c = Counter("reqs", "", ("port",))
+        with pytest.raises(ValueError):
+            c.inc(bram="x")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("pending", "", ())
+        g.set(5)
+        assert g.value() == 5
+        g.inc(-2)
+        assert g.value() == 3
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("waits", "", (), buckets=(1.0, 4.0, 16.0))
+        for value in (0, 1, 2, 5, 20):
+            h.observe(value)
+        assert h.count() == 5
+        assert h.sum_of() == 28
+        state = h.samples()[0][1]
+        # le semantics: 0,1 -> le=1; 2 -> le=4; 5 -> le=16; 20 -> +Inf
+        assert state.counts == [2, 1, 1, 1]
+
+    def test_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", (), buckets=())
+
+    def test_observe_many(self):
+        h = Histogram("h", "", ("who",))
+        h.observe_many([1, 2, 3], who="a")
+        assert h.count(who="a") == 3
+        assert h.count(who="b") == 0
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help", labels=("l",))
+        b = reg.counter("x_total", "other help", labels=("l",))
+        assert a is b
+        assert len(reg) == 1
+
+    def test_conflicting_registration_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels=("l",))
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", labels=("l",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labels=("other",))
+
+    def test_render_prometheus_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "requests", labels=("port",))
+        c.inc(3, port="A")
+        g = reg.gauge("level", "fill level")
+        g.set(1.5)
+        text = reg.render_prometheus()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{port="A"} 3' in text
+        assert "# TYPE level gauge" in text
+        assert "level 1.5" in text
+        assert text.endswith("\n")
+
+    def test_render_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wait", "waits", labels=("p",), buckets=(1.0, 8.0))
+        h.observe_many([0, 5, 100], p="C")
+        text = reg.render_prometheus()
+        assert 'wait_bucket{p="C",le="1"} 1' in text
+        assert 'wait_bucket{p="C",le="8"} 2' in text
+        assert 'wait_bucket{p="C",le="+Inf"} 3' in text
+        assert 'wait_sum{p="C"} 105' in text
+        assert 'wait_count{p="C"} 3' in text
+
+    def test_render_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            c = reg.counter("c_total", labels=("k",))
+            # insertion order of label sets differs; render must not
+            for key in ("z", "a", "m"):
+                c.inc(k=key)
+            return reg.render_prometheus()
+
+        assert build() == build()
+        assert build().index('k="a"') < build().index('k="z"')
+
+    def test_to_dict_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "h", labels=("l",)).inc(l="x")
+        reg.histogram("h_cycles", buckets=(1.0,)).observe(0)
+        out = reg.to_dict()
+        assert out["c_total"]["type"] == "counter"
+        assert out["c_total"]["values"] == [
+            {"labels": {"l": "x"}, "value": 1}
+        ]
+        assert out["h_cycles"]["buckets"] == [1.0]
+        assert out["h_cycles"]["values"][0]["count"] == 1
+
+    def test_default_buckets_cover_watchdog_window(self):
+        assert DEFAULT_BUCKETS[-1] == 128.0

@@ -116,6 +116,52 @@ class TestProbes:
     def test_throughput_zero_cycles(self):
         assert ThroughputProbe().throughput(0) == 0.0
 
+    def test_throughput_probe_zero_messages(self):
+        design = compile_design(forwarding_source(2))
+        sim = build_simulation(design, functions=forwarding_functions())
+        sim.run(50)  # no traffic injected -> nothing forwarded
+        probe = ThroughputProbe(interfaces=[sim.tx["eth_out"]])
+        assert probe.total_messages() == 0
+        assert probe.throughput(50) == 0.0
+        assert probe.latencies() == []
+
+    def test_controller_stats_from_empty_waits(self):
+        from repro.core.controller import ControllerStats
+
+        stats = ControllerStats.from_waits([])
+        assert stats.count == 0
+        assert stats.min_wait == 0 and stats.max_wait == 0
+        assert stats.mean_wait == 0.0
+        assert stats.deterministic
+
+    def test_summary_observed_flag(self):
+        sim = self.make_run(Organization.ARBITRATED)
+        probe = ConsumerLatencyProbe(sim.controllers["bram0"])
+        assert all(s.observed for s in probe.summaries())
+
+    def test_include_declared_lists_silent_consumers(self, figure1_source):
+        # No traffic -> consumers are declared in the deplist but never
+        # complete a guarded read.
+        design = compile_design(figure1_source)
+        sim = build_simulation(design)
+        probe = ConsumerLatencyProbe(sim.controllers["bram0"])
+        declared = probe.summaries(include_declared=True)
+        silent = [s for s in declared if not s.observed]
+        assert silent and all(s.waits == [] for s in silent)
+        text = determinism_report(probe, include_declared=True)
+        assert "n/a (no samples observed)" in text
+
+    def test_include_declared_event_driven_schedule(self):
+        design = compile_design(
+            make_fanout_source(3), organization=Organization.EVENT_DRIVEN
+        )
+        sim = build_simulation(design)
+        probe = ConsumerLatencyProbe(
+            sim.controllers["bram0"], guarded_ports=("C", "B")
+        )
+        declared = probe.summaries(include_declared=True)
+        assert {s.thread for s in declared} >= {"c0", "c1", "c2"}
+
 
 class TestVcd:
     def test_header_and_changes(self):
@@ -142,6 +188,39 @@ class TestVcd:
     def test_invalid_width(self):
         with pytest.raises(ValueError):
             VcdWriter().add_signal("x", 0, lambda: 0)
+
+    def test_identifiers_past_single_char_space(self):
+        # 94 printable identifier characters: signal 94 wraps to "!!".
+        from repro.sim.vcd import _identifier
+
+        assert _identifier(0) == "!"
+        assert _identifier(93) == "~"
+        assert _identifier(94) == "!!"
+        assert _identifier(95) == '"!'
+
+    def test_many_signals_get_unique_identifiers(self):
+        vcd = VcdWriter()
+        for i in range(200):
+            vcd.add_signal(f"s{i}", 1, lambda i=i: i % 2)
+        idents = [sig.ident for sig in vcd._signals]
+        assert len(set(idents)) == 200
+        assert any(len(ident) == 2 for ident in idents)
+        vcd.sample_all(0)
+        text = vcd.render()
+        assert text.count("$var") == 200
+
+    def test_constant_signal_emitted_once(self):
+        vcd = VcdWriter()
+        vcd.add_signal("const", 4, lambda: 7)
+        for t in range(5):
+            vcd.sample_all(t)
+        text = vcd.render()
+        # Initial value appears at #0; no later timestamps since nothing
+        # ever changes again.
+        assert "#0" in text
+        for t in range(1, 5):
+            assert f"#{t}" not in text
+        assert text.count("b0111") == 1
 
     def test_kernel_hook_integration(self, figure1_source, tmp_path):
         design = compile_design(figure1_source)

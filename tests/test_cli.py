@@ -1,5 +1,7 @@
 """Unit tests for the ``python -m repro`` command-line driver."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -68,3 +70,52 @@ class TestCli:
         path = tmp_path / "deadlock.hic"
         path.write_text(DEADLOCK_SOURCE)
         assert main([str(path), "--no-deadlock-check"]) == 0
+
+
+class TestCliTelemetry:
+    def test_trace_json_implies_simulate(self, figure1_file, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main([figure1_file, "--trace-json", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated 1000 cycles" in out
+        assert "wrote Chrome trace" in out
+        document = json.loads(target.read_text())
+        assert document["traceEvents"]
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_all_telemetry_outputs(self, figure1_file, tmp_path):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        summary = tmp_path / "s.json"
+        csv = tmp_path / "m.csv"
+        assert main([
+            figure1_file, "--simulate", "200",
+            "--trace-json", str(trace),
+            "--metrics", str(prom),
+            "--summary-json", str(summary),
+            "--summary-csv", str(csv),
+        ]) == 0
+        assert "sim_cycles 200" in prom.read_text()
+        assert json.loads(summary.read_text())["schema"] == (
+            "repro.obs.summary/1"
+        )
+        assert csv.read_text().startswith("metric,")
+
+    def test_traffic_rate_drives_ingress(self, figure1_file, tmp_path):
+        prom = tmp_path / "m.prom"
+        assert main([
+            figure1_file, "--simulate", "300",
+            "--traffic-rate", "0.1", "--metrics", str(prom),
+        ]) == 0
+        text = prom.read_text()
+        assert "sim_requests_granted_total" in text
+
+    def test_trace_level_full(self, figure1_file, tmp_path):
+        deps = tmp_path / "deps.json"
+        full = tmp_path / "full.json"
+        assert main([figure1_file, "--simulate", "200",
+                     "--trace-json", str(deps)]) == 0
+        assert main([figure1_file, "--simulate", "200",
+                     "--trace-json", str(full),
+                     "--trace-level", "full"]) == 0
+        assert len(full.read_bytes()) > len(deps.read_bytes())

@@ -32,4 +32,27 @@ def test_expected_examples_present():
         "deadlock_detection",
         "packet_filter",
         "offchip_routing_table",
+        "telemetry_tour",
     } <= names
+
+
+def test_telemetry_tour_artifacts(tmp_path):
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "telemetry_tour.py"),
+            str(tmp_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    trace = (tmp_path / "trace.json").read_text()
+    metrics = (tmp_path / "metrics.prom").read_text()
+    assert trace.strip() and metrics.strip()
+    import json
+
+    document = json.loads(trace)
+    assert document["traceEvents"], "trace must contain events"
+    assert "sim_cycles" in metrics
