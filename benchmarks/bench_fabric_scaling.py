@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Fabric scaling — consumer latency and throughput versus bank count.
+
+The fabric's pitch is that sharding the message memory over N banks
+relieves the single dual-ported BRAM the paper's organizations wrap
+(§3.1/§3.2).  This bench compiles the multi-pair producer/consumer
+program onto 1/2/4-bank fabrics for both organizations and tabulates:
+
+* consumer guarded-read latency (mean/max over the run);
+* throughput (grants per cycle, rounds completed);
+* crossbar and cross-bank router activity.
+
+The workload is fully deterministic (the threads are self-driven and the
+``spread`` dependency-home policy is a pure function of the memory map),
+so the emitted table is identical run to run — asserted below by running
+the whole study twice.
+
+Run standalone to emit the CSV the CI bench-smoke job uploads:
+
+    PYTHONPATH=src python benchmarks/bench_fabric_scaling.py \
+        --banks 1 2 4 --csv fabric_scaling.csv
+"""
+
+import argparse
+import csv
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.net import multi_pair_source
+from repro.report import Table
+from repro.sim.probes import ConsumerLatencyProbe
+
+#: recorded in the CSV for provenance; the run itself is seed-free
+#: deterministic (no stochastic traffic is involved)
+SEED = 7
+BANKS = (1, 2, 4)
+CYCLES = 1200
+PAIRS = 3
+CONSUMERS_PER_PAIR = 2
+
+FIELDS = [
+    "organization",
+    "banks",
+    "consumer_reads",
+    "mean_wait",
+    "max_wait",
+    "grants_per_cycle",
+    "rounds",
+    "crossbar_delivered",
+    "cross_bank_deps",
+    "deps_routed",
+]
+
+
+def run_point(organization: Organization, banks: int, cycles: int) -> dict:
+    design = compile_design(
+        multi_pair_source(PAIRS, CONSUMERS_PER_PAIR),
+        organization=organization,
+        num_banks=banks,
+        dep_home="spread",
+    )
+    sim = build_simulation(design)
+    sim.run(cycles)
+    fabric = sim.controllers["fabric"]
+    stats = ConsumerLatencyProbe(fabric).overall_stats()
+    fabric_stats = fabric.fabric_stats()
+    router = fabric_stats["router"]
+    return {
+        "organization": organization.value,
+        "banks": banks,
+        "consumer_reads": stats.count,
+        "mean_wait": f"{stats.mean_wait:.3f}",
+        "max_wait": stats.max_wait,
+        "grants_per_cycle": f"{len(fabric.latency_samples) / cycles:.4f}",
+        "rounds": sum(
+            e.stats.rounds_completed for e in sim.executors.values()
+        ),
+        "crossbar_delivered": fabric_stats["crossbar"]["delivered"],
+        "cross_bank_deps": design.fabric.cross_bank_count,
+        "deps_routed": router["writes_routed"] + router["reads_routed"],
+    }
+
+
+def run_scaling(banks=BANKS, cycles=CYCLES) -> list[dict]:
+    return [
+        run_point(organization, bank_count, cycles)
+        for organization in (Organization.ARBITRATED, Organization.EVENT_DRIVEN)
+        for bank_count in banks
+    ]
+
+
+def write_csv(rows: list[dict], path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=FIELDS + ["seed"])
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({**row, "seed": SEED})
+
+
+def render(rows: list[dict], cycles: int = CYCLES) -> str:
+    table = Table(
+        f"fabric scaling ({PAIRS} pairs x {CONSUMERS_PER_PAIR} consumers, "
+        f"{cycles} cycles, dep_home=spread)",
+        FIELDS,
+    )
+    for row in rows:
+        table.add_row(*(row[name] for name in FIELDS))
+    return table.render()
+
+
+@pytest.mark.benchmark(group="fabric")
+def test_fabric_scaling(benchmark):
+    rows = benchmark(run_scaling)
+    print()
+    print(render(rows))
+    write_csv(rows, "BENCH_fabric_scaling.csv")
+
+    # Fixed workload => the whole table is reproducible.
+    assert rows == run_scaling()
+
+    by_key = {(r["organization"], r["banks"]): r for r in rows}
+    for organization in ("arbitrated", "event_driven"):
+        for banks in BANKS:
+            row = by_key[(organization, banks)]
+            # Every configuration made real progress...
+            assert row["consumer_reads"] > 0
+            assert row["rounds"] > 0
+            # ...and multi-bank points exercised the cross-bank router.
+            if banks > 1:
+                assert row["cross_bank_deps"] > 0
+                assert row["deps_routed"] > 0
+
+    benchmark.extra_info["rows"] = rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--banks", type=int, nargs="+", default=list(BANKS))
+    parser.add_argument("--cycles", type=int, default=CYCLES)
+    parser.add_argument("--csv", default="fabric_scaling.csv")
+    arguments = parser.parse_args()
+    rows = run_scaling(tuple(arguments.banks), arguments.cycles)
+    print(render(rows, arguments.cycles))
+    write_csv(rows, arguments.csv)
+    print(f"wrote {arguments.csv}")
+
+
+if __name__ == "__main__":
+    main()

@@ -114,6 +114,46 @@ def _parser() -> argparse.ArgumentParser:
         help="seed for --traffic-rate generators (default: 1)",
     )
     parser.add_argument(
+        "--banks",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "compile for a sharded N-bank memory fabric (0 = the paper's "
+            "single-address-space flow)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-policy",
+        choices=["interleaved", "range"],
+        default="interleaved",
+        help="fabric address sharding policy (default: interleaved)",
+    )
+    parser.add_argument(
+        "--link-latency",
+        type=int,
+        default=1,
+        metavar="CYCLES",
+        help="crossbar link latency between ingress and a bank (default: 1)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help="requests a bank accepts from the crossbar per cycle (default: 1)",
+    )
+    parser.add_argument(
+        "--dep-home",
+        choices=["address", "spread"],
+        default="address",
+        help=(
+            "fabric dependency-entry homing: 'address' co-locates guards "
+            "with their data; 'spread' distributes them across banks "
+            "(exercising the cross-bank router)"
+        ),
+    )
+    parser.add_argument(
         "--no-deadlock-check",
         action="store_true",
         help="skip the static deadlock check",
@@ -164,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
             infer_pragmas=args.infer_pragmas,
             allow_offchip=args.allow_offchip,
             optimize=args.optimize,
+            num_banks=args.banks,
+            shard_policy=args.shard_policy,
+            link_latency=args.link_latency,
+            batch_size=args.batch_size,
+            dep_home=args.dep_home,
         )
     except (HicError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -172,12 +217,23 @@ def main(argv: list[str] | None = None) -> int:
     print(f"design {design.name!r}: {len(design.fsms)} threads, "
           f"{design.memory_map.bram_count()} BRAM(s), "
           f"{len(design.checked.dependencies)} dependencies")
-    for bram in design.memory_map.bram_names:
-        area = design.area_report(bram)
+    if design.fabric is not None:
+        plan = design.fabric
         print(
-            f"  {bram}: LUT={area.luts} FF={area.ffs} slices={area.slices}"
+            f"fabric: {plan.config.num_banks} banks "
+            f"({plan.policy.describe()}), link latency "
+            f"{plan.config.link_latency}, batch {plan.config.batch_size}, "
+            f"{plan.cross_bank_count} cross-bank dependencies"
         )
-        print(f"  {design.timing_report(bram).render()}")
+        print(design.fabric_area_report().render())
+        print(design.fabric_timing_report().render())
+    else:
+        for bram in design.memory_map.bram_names:
+            area = design.area_report(bram)
+            print(
+                f"  {bram}: LUT={area.luts} FF={area.ffs} slices={area.slices}"
+            )
+            print(f"  {design.timing_report(bram).render()}")
     utilization = design.utilization()
     print(utilization.render())
 
@@ -233,6 +289,20 @@ def main(argv: list[str] | None = None) -> int:
             sim.kernel.add_post_cycle_hook(vcd.hook)
         result = sim.run(args.simulate)
         print(result.describe())
+        for name, controller in sim.controllers.items():
+            if hasattr(controller, "fabric_stats"):
+                stats = controller.fabric_stats()
+                print(
+                    f"{name}: crossbar forwarded="
+                    f"{stats['crossbar']['forwarded']} "
+                    f"delivered={stats['crossbar']['delivered']} "
+                    f"router gated={stats['router']['gated_cycles']}"
+                )
+                for bank, per_bank in sorted(stats["banks"].items()):
+                    print(
+                        f"  {bank}: routed={per_bank['routed']} "
+                        f"granted={per_bank['granted']}"
+                    )
         for bram, controller in sim.controllers.items():
             probe = ConsumerLatencyProbe(
                 controller, guarded_ports=("C", "B", "G")

@@ -27,6 +27,7 @@ from .controller import (
     MemoryController,
 )
 from .errors import (
+    AllocationError,
     ControllerError,
     GuardViolationError,
     ProtocolError,
@@ -47,6 +48,7 @@ __all__ = [
     "RoundRobinArbiter",
     "ArbitratedConfig",
     "ArbitratedController",
+    "AllocationError",
     "BlockedRequest",
     "CamEntry",
     "ContentAddressableMemory",

@@ -39,6 +39,32 @@ class MemRequest:
     def key(self) -> tuple:
         return (self.client, self.port, self.address, self.write)
 
+    @property
+    def sort_key(self) -> tuple:
+        """Total order over requests — blocked-request diagnostics and
+        multi-bank routing iterate in this order so reports render
+        identically run to run."""
+        return (
+            self.client,
+            self.port,
+            self.address,
+            int(self.write),
+            self.dep_id or "",
+        )
+
+    def __repr__(self) -> str:
+        kind = "write" if self.write else "read"
+        dep = f" dep={self.dep_id}" if self.dep_id is not None else ""
+        return (
+            f"MemRequest({self.client}: {kind} @{self.address} "
+            f"port {self.port}{dep})"
+        )
+
+    def __lt__(self, other: "MemRequest") -> bool:
+        if not isinstance(other, MemRequest):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
 
 @dataclass(frozen=True)
 class MemResult:
@@ -139,14 +165,17 @@ class MemoryController(abc.ABC):
                 if self.observer is not None:
                     self.observer.on_grant(self.bram.name, request, sample)
                 del self._pending[key]
-        self.blocked = [
-            BlockedRequest(
-                request=request,
-                issue_cycle=self._issue_cycle[key],
-                blocked_cycles=cycle - self._issue_cycle[key],
-            )
-            for key, request in self._pending.items()
-        ]
+        self.blocked = sorted(
+            (
+                BlockedRequest(
+                    request=request,
+                    issue_cycle=self._issue_cycle[key],
+                    blocked_cycles=cycle - self._issue_cycle[key],
+                )
+                for key, request in self._pending.items()
+            ),
+            key=lambda b: b.request.sort_key,
+        )
         # Requests not granted remain pending; threads re-submit anyway.
         self._pending = {}
         return results

@@ -72,6 +72,48 @@ class UnknownPortError(ProtocolError):
     kind = "unknown-port"
 
 
+class AllocationError(ControllerError, ValueError):
+    """The memory allocator could not place a variable or message.
+
+    Derives from ``ValueError`` because the allocator historically raised
+    bare ``ValueError``\\ s — callers catching those keep working.  The
+    payload names the item and the sizes involved, so a report can say
+    *what* did not fit *where* without parsing the message text.
+    """
+
+    kind = "allocation-error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        variable: Optional[str] = None,
+        thread: Optional[str] = None,
+        words_needed: Optional[int] = None,
+        words_available: Optional[int] = None,
+        **coords,
+    ):
+        super().__init__(message, **coords)
+        self.variable = variable
+        self.thread = thread
+        self.words_needed = words_needed
+        self.words_available = words_available
+
+    def describe(self) -> str:
+        base = super().describe()
+        sizes = [
+            f"{name}={value}"
+            for name, value in (
+                ("variable", self.variable),
+                ("thread", self.thread),
+                ("words_needed", self.words_needed),
+                ("words_available", self.words_available),
+            )
+            if value is not None
+        ]
+        return f"{base} ({', '.join(sizes)})" if sizes else base
+
+
 class GuardViolationError(ControllerError):
     """The dependency-list guard protocol was broken (e.g. a consumer read
     with no outstanding produce-consume cycle) — the runtime signature of a

@@ -32,12 +32,30 @@ from .core.arbitrated import ArbitratedController
 from .core.controller import MemoryController
 from .core.event_driven import EventDrivenController
 from .core.lock_baseline import LockBaselineController
-from .fpga.area import AreaReport, UtilizationReport, estimate_area, estimate_design
+from .fabric import FabricConfig, FabricPlan, build_fabric, plan_fabric
+from .fpga.area import (
+    AreaReport,
+    FabricAreaReport,
+    UtilizationReport,
+    estimate_area,
+    estimate_design,
+    estimate_fabric_area,
+)
 from .fpga.device import Device, XC2VP20
-from .fpga.timing import TimingReport, estimate_timing
+from .fpga.timing import (
+    FabricTimingReport,
+    TimingReport,
+    estimate_fabric_timing,
+    estimate_timing,
+)
 from .hic.pragmas import Dependency
 from .hic.semantic import CheckedProgram, analyze
-from .memory.allocation import MemoryMap, allocate, dependencies_per_bram
+from .memory.allocation import (
+    FABRIC_BRAM,
+    MemoryMap,
+    allocate,
+    dependencies_per_bram,
+)
 from .memory.bram import BlockRam
 from .memory.deplist import DependencyList
 from .memory.offchip import OffchipController, OffchipMemory
@@ -45,6 +63,7 @@ from .rtl.generate import (
     DEFAULT_DEPLIST_ENTRIES,
     WrapperParams,
     generate_arbitrated_wrapper,
+    generate_crossbar,
     generate_design,
     generate_event_driven_wrapper,
     generate_lock_baseline,
@@ -82,6 +101,9 @@ class CompiledDesign:
     wrapper_modules: dict[str, Module]
     thread_modules: dict[str, Module]
     top: Module
+    #: fabric-mode artifacts (None for the single-address-space flow)
+    fabric: Optional[FabricPlan] = None
+    crossbar_module: Optional[Module] = None
 
     # -- reports -------------------------------------------------------------------
 
@@ -91,6 +113,22 @@ class CompiledDesign:
 
     def timing_report(self, bram: str, device: Device = XC2VP20) -> TimingReport:
         return estimate_timing(self.wrapper_modules[bram], device)
+
+    def fabric_area_report(self) -> FabricAreaReport:
+        """Aggregate area of the fabric: bank wrappers plus the crossbar."""
+        if self.fabric is None or self.crossbar_module is None:
+            raise ValueError("design was not compiled with num_banks > 0")
+        return estimate_fabric_area(self.wrapper_modules, self.crossbar_module)
+
+    def fabric_timing_report(
+        self, device: Device = XC2VP20
+    ) -> FabricTimingReport:
+        """Fabric clock estimate (the slowest of banks and crossbar)."""
+        if self.fabric is None or self.crossbar_module is None:
+            raise ValueError("design was not compiled with num_banks > 0")
+        return estimate_fabric_timing(
+            self.wrapper_modules, self.crossbar_module, device
+        )
 
     def utilization(self, device: Device = XC2VP20) -> UtilizationReport:
         return estimate_design(self.top, device)
@@ -139,6 +177,11 @@ def compile_design(
     infer_pragmas: bool = False,
     allow_offchip: bool = False,
     optimize: bool = False,
+    num_banks: int = 0,
+    shard_policy: str = "interleaved",
+    link_latency: int = 1,
+    batch_size: int = 1,
+    dep_home: str = "address",
 ) -> CompiledDesign:
     """Run the full front-end + synthesis + generation flow.
 
@@ -148,7 +191,16 @@ def compile_design(
     to the modelled external SRAM tier.  ``optimize=True`` runs the FSM
     optimization passes (dead-state elimination, pass-through collapsing,
     compute-state packing) on every thread before binding.
+
+    ``num_banks > 0`` switches to the sharded fabric flow: allocation
+    targets one logical address space over that many banks (sliced by
+    ``shard_policy``), a crossbar netlist joins the per-bank wrappers, and
+    simulation runs through a :class:`repro.fabric.MemoryFabric`.
+    ``dep_home="spread"`` distributes dependency entries round-robin over
+    banks, exercising the cross-bank dependency router.
     """
+    if num_banks > 0 and force_single_bram:
+        raise ValueError("force_single_bram is incompatible with a fabric")
     checked = analyze(source, infer_pragmas=infer_pragmas)
     if check_deadlock:
         assert_deadlock_free(checked)
@@ -161,12 +213,31 @@ def compile_design(
         access=access_graph,
         force_single_bram=force_single_bram,
         allow_offchip=allow_offchip,
+        fabric_banks=num_banks,
+        fabric_policy=shard_policy,
     )
-    dep_groups = dependencies_per_bram(memory_map, checked.dependencies)
-    deplists = {
-        bram: DependencyList.build(bram, deps, memory_map)
-        for bram, deps in dep_groups.items()
-    }
+
+    fabric_plan: Optional[FabricPlan] = None
+    if num_banks > 0:
+        fabric_plan = plan_fabric(
+            checked,
+            memory_map,
+            FabricConfig(
+                num_banks=num_banks,
+                shard_policy=shard_policy,
+                link_latency=link_latency,
+                batch_size=batch_size,
+                dep_home=dep_home,
+            ),
+        )
+        dep_groups = dict(fabric_plan.native_dep_groups)
+        deplists = dict(fabric_plan.bank_deplists)
+    else:
+        dep_groups = dependencies_per_bram(memory_map, checked.dependencies)
+        deplists = {
+            bram: DependencyList.build(bram, deps, memory_map)
+            for bram, deps in dep_groups.items()
+        }
 
     fsms = synthesize_program(checked, memory_map)
     if optimize:
@@ -174,7 +245,11 @@ def compile_design(
 
         for fsm in fsms.values():
             optimize_fsm(fsm)
-    bindings = bind_program(checked, memory_map, fsms)
+    bank_of = None
+    if fabric_plan is not None:
+        policy = fabric_plan.policy
+        bank_of = lambda addr: policy.bank_name(policy.bank_for(addr))
+    bindings = bind_program(checked, memory_map, fsms, bank_of=bank_of)
 
     wrapper_modules: dict[str, Module] = {}
     multi_bram = len(dep_groups) > 1
@@ -190,12 +265,24 @@ def compile_design(
         else:
             wrapper_modules[bram] = generate_lock_baseline(params, suffix)
 
+    crossbar_module: Optional[Module] = None
+    if fabric_plan is not None:
+        crossbar_module = generate_crossbar(
+            num_banks=num_banks,
+            clients=max(1, len(fsms)),
+            link_latency=link_latency,
+            batch_size=batch_size,
+        )
+
     thread_modules = {
         thread: generate_thread_module(fsms[thread], bindings[thread])
         for thread in fsms
     }
     top = generate_design(
-        name, list(wrapper_modules.values()), list(thread_modules.values())
+        name,
+        list(wrapper_modules.values())
+        + ([crossbar_module] if crossbar_module is not None else []),
+        list(thread_modules.values()),
     )
 
     return CompiledDesign(
@@ -210,6 +297,8 @@ def compile_design(
         wrapper_modules=wrapper_modules,
         thread_modules=thread_modules,
         top=top,
+        fabric=fabric_plan,
+        crossbar_module=crossbar_module,
     )
 
 
@@ -266,6 +355,13 @@ def build_simulation(
 ) -> Simulation:
     """Instantiate controllers, interfaces, and executors for a design."""
     controllers: dict[str, MemoryController] = {}
+    if design.fabric is not None:
+        # One fabric behind the logical address space: executors address
+        # it like any other controller; routing happens inside.
+        controllers[FABRIC_BRAM] = build_fabric(
+            design.organization, design.fabric
+        )
+        return _finish_simulation(design, controllers, functions)
     for bram_name in design.memory_map.bram_names:
         bram = BlockRam(bram_name)
         deps = design.dep_groups.get(bram_name, [])
@@ -295,6 +391,15 @@ def build_simulation(
     for bank in design.memory_map.offchip_names:
         controllers[bank] = OffchipController(OffchipMemory(bank))
 
+    return _finish_simulation(design, controllers, functions)
+
+
+def _finish_simulation(
+    design: CompiledDesign,
+    controllers: dict[str, MemoryController],
+    functions: Optional[dict[str, Callable[..., int]]],
+) -> Simulation:
+    """Shared tail of :func:`build_simulation`: interfaces, executors, kernel."""
     rx = {name: RxInterface(name) for name in design.checked.interfaces}
     tx = {name: TxInterface(name) for name in design.checked.interfaces}
 

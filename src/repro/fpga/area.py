@@ -97,6 +97,59 @@ def estimate_design(
     return UtilizationReport(device=device, total=total, per_module=per_module)
 
 
+@dataclass
+class FabricAreaReport:
+    """Area of a multi-bank fabric: per-bank wrappers plus the crossbar."""
+
+    banks: list[AreaReport]
+    crossbar: AreaReport
+    total: AreaReport
+
+    def render(self) -> str:
+        lines = [
+            f"fabric ({len(self.banks)} banks): LUT={self.total.luts} "
+            f"FF={self.total.ffs} BRAM={self.total.brams} "
+            f"slices={self.total.slices}"
+        ]
+        for report in self.banks + [self.crossbar]:
+            lines.append(
+                f"  {report.module:<32} LUT={report.luts:<5} "
+                f"FF={report.ffs:<5} slices={report.slices}"
+            )
+        return "\n".join(lines)
+
+
+def estimate_fabric_area(
+    bank_modules: dict[str, Module],
+    crossbar_module: Module,
+    efficiency: float = DEFAULT_EFFICIENCY,
+) -> FabricAreaReport:
+    """Aggregate fabric area: every bank wrapper plus the crossbar.
+
+    The totals are the sum of the parts (the fabric adds no logic of its
+    own beyond the crossbar), so area grows monotonically with the bank
+    count: each extra bank contributes a whole wrapper plus a crossbar
+    output column.
+    """
+    banks = [
+        estimate_area(module, efficiency)
+        for __, module in sorted(bank_modules.items())
+    ]
+    crossbar = estimate_area(crossbar_module, efficiency)
+    parts = banks + [crossbar]
+    luts = sum(r.luts for r in parts)
+    ffs = sum(r.ffs for r in parts)
+    packed = pack(luts, ffs, efficiency)
+    total = AreaReport(
+        module="fabric",
+        luts=luts,
+        ffs=ffs,
+        brams=sum(r.brams for r in parts),
+        slices=packed.slices,
+    )
+    return FabricAreaReport(banks=banks, crossbar=crossbar, total=total)
+
+
 def overhead_fraction(wrapper: AreaReport, core_slices: int) -> float:
     """The §4 overhead metric: wrapper slices as a fraction of the
     application's core-function slices (~1000 for the IP forwarder)."""

@@ -66,6 +66,57 @@ def estimate_timing(
     )
 
 
+@dataclass
+class FabricTimingReport:
+    """Timing of a multi-bank fabric: banks and crossbar as pipeline stages."""
+
+    banks: list[TimingReport]
+    crossbar: TimingReport
+
+    @property
+    def worst(self) -> TimingReport:
+        """The stage limiting the fabric clock (longest period)."""
+        return max(self.banks + [self.crossbar], key=lambda r: r.period_ns)
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.worst.fmax_mhz
+
+    @property
+    def meets_target(self) -> bool:
+        return self.worst.meets_target
+
+    def render(self) -> str:
+        lines = [
+            f"fabric fmax {self.fmax_mhz:.0f} MHz "
+            f"(limited by {self.worst.module})"
+        ]
+        for report in self.banks + [self.crossbar]:
+            lines.append("  " + report.render())
+        return "\n".join(lines)
+
+
+def estimate_fabric_timing(
+    bank_modules: dict[str, Module],
+    crossbar_module: Module,
+    device: Device = XC2VP20,
+    target_mhz: float = PAPER_TARGET_MHZ,
+) -> FabricTimingReport:
+    """Timing of a fabric: the clock is set by the slowest stage.
+
+    Banks and crossbar are register-bounded stages (the crossbar's link
+    registers decouple them), so the fabric period is the max of the stage
+    periods — and since the crossbar's routing path deepens with the bank
+    count, the fabric period is monotonically non-decreasing in banks.
+    """
+    banks = [
+        estimate_timing(module, device, target_mhz)
+        for __, module in sorted(bank_modules.items())
+    ]
+    crossbar = estimate_timing(crossbar_module, device, target_mhz)
+    return FabricTimingReport(banks=banks, crossbar=crossbar)
+
+
 def compare_organizations(
     arbitrated: Module, event_driven: Module, device: Device = XC2VP20
 ) -> dict[str, TimingReport]:

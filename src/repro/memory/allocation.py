@@ -80,6 +80,14 @@ class MemoryMap:
     #: off-chip banks used (empty unless something spilled)
     offchip_names: list[str] = field(default_factory=list)
     offchip_fill: dict[str, int] = field(default_factory=dict)
+    #: >0 when the map targets a sharded fabric: addresses are *logical*
+    #: (one space of ``fabric_banks * WORDS_PER_BRAM`` words) and the
+    #: sharding policy decides which physical bank serves each word
+    fabric_banks: int = 0
+    fabric_policy: str = ""
+    #: words resident per physical bank index (range policy only; the
+    #: interleaved policy scatters every variable across all banks)
+    fabric_bank_fill: dict[int, int] = field(default_factory=dict)
 
     def placement(self, thread: str, variable: str) -> Placement:
         key = (thread, variable)
@@ -108,7 +116,8 @@ class MemoryMap:
         )
 
     def utilization(self, bram: str) -> float:
-        return (self.bram_fill.get(bram, 0) * WORD_WIDTH) / BRAM_BITS
+        capacity = BRAM_BITS * max(1, self.fabric_banks or 1)
+        return (self.bram_fill.get(bram, 0) * WORD_WIDTH) / capacity
 
 
 def words_needed(bits: int) -> int:
@@ -147,11 +156,21 @@ def _decide_residency(
     return Residency.REGISTER
 
 
+def _allocation_error(message: str, **payload):
+    # Local import: repro.core pulls in this module at package
+    # initialization, so a top-level import would be circular.
+    from ..core.errors import AllocationError
+
+    return AllocationError(message, **payload)
+
+
 def allocate(
     checked: CheckedProgram,
     access: MemoryAccessGraph | None = None,
     force_single_bram: bool = False,
     allow_offchip: bool = False,
+    fabric_banks: int = 0,
+    fabric_policy: str = "interleaved",
 ) -> MemoryMap:
     """Allocate every storage-owning variable of a checked program.
 
@@ -168,6 +187,15 @@ def allocate(
             off-chip tier instead of failing.  Synchronized (produced)
             variables may never spill — the paper's wrappers are BRAM port
             logic.
+        fabric_banks: When positive, allocate into the *logical* address
+            space of a sharded memory fabric (``fabric_banks`` banks of
+            ``WORDS_PER_BRAM`` words behind one crossbar) instead of
+            per-BRAM packing.  The map then has a single pseudo-BRAM named
+            ``"fabric"`` and the sharding policy decides physical homes.
+        fabric_policy: ``"interleaved"`` (word ``addr % banks``) packs one
+            sequential cursor; ``"range"`` (bank ``addr // 512``) places
+            each thread's affinity group in a preferred bank, balanced by
+            weighted access counts from the access graph.
     """
     # Only produced variables must live in BRAM: they are the guarded
     # addresses.  Consumer-side targets are ordinary thread-local state.
@@ -198,6 +226,17 @@ def allocate(
         else:
             bram_items.append((key, bits, words))
 
+    if fabric_banks > 0:
+        if allow_offchip:
+            raise ValueError(
+                "fabric allocation keeps all data on chip "
+                "(allow_offchip is not supported with fabric_banks)"
+            )
+        _allocate_fabric(
+            memory_map, bram_items, fabric_banks, fabric_policy, access
+        )
+        return memory_map
+
     # Variables too large for any single BRAM spill to the off-chip tier
     # (when allowed); guarded variables must stay on chip.
     oversize = [item for item in bram_items if item[2] > WORDS_PER_BRAM]
@@ -208,9 +247,13 @@ def allocate(
         cursor = 0
         for key, bits, need in sorted(oversize, key=lambda i: i[0]):
             if key in shared:
-                raise ValueError(
+                raise _allocation_error(
                     f"produced variable {key[0]}.{key[1]} is too large for a "
-                    "BRAM and cannot spill off chip (guards are BRAM logic)"
+                    "BRAM and cannot spill off chip (guards are BRAM logic)",
+                    variable=key[1],
+                    thread=key[0],
+                    words_needed=need,
+                    words_available=WORDS_PER_BRAM,
                 )
             memory_map.placements[key] = Placement(
                 thread=key[0],
@@ -232,9 +275,13 @@ def allocate(
     # what plain FFD needs for the same items.
     for key, bits, need in bram_items:
         if need > WORDS_PER_BRAM:
-            raise ValueError(
+            raise _allocation_error(
                 f"variable {key[0]}.{key[1]} needs {need} words, "
-                f"more than one BRAM holds ({WORDS_PER_BRAM})"
+                f"more than one BRAM holds ({WORDS_PER_BRAM})",
+                variable=key[1],
+                thread=key[0],
+                words_needed=need,
+                words_available=WORDS_PER_BRAM,
             )
 
     groups: dict[str, list[tuple[tuple[str, str], int, int]]] = {}
@@ -288,9 +335,11 @@ def allocate(
                 place(item, target)
 
     if force_single_bram and len(bram_fill) > 1:
-        raise ValueError(
+        raise _allocation_error(
             "force_single_bram: does not fit in one BRAM "
-            f"({len(bram_fill)} needed)"
+            f"({len(bram_fill)} needed)",
+            words_needed=sum(bram_fill),
+            words_available=WORDS_PER_BRAM,
         )
     for idx, fill in enumerate(bram_fill):
         name = f"bram{idx}"
@@ -298,6 +347,147 @@ def allocate(
         memory_map.bram_fill[name] = fill
 
     return memory_map
+
+
+#: Name of the pseudo-BRAM representing a fabric's logical address space.
+FABRIC_BRAM = "fabric"
+
+
+def _allocate_fabric(
+    memory_map: MemoryMap,
+    bram_items: list[tuple[tuple[str, str], int, int]],
+    fabric_banks: int,
+    fabric_policy: str,
+    access: MemoryAccessGraph | None,
+) -> None:
+    """Pack BRAM-resident items into a fabric's logical address space.
+
+    Keeps the single-BRAM packer's deterministic ordering (first-fit
+    decreasing over per-thread affinity groups) but places into one logical
+    space of ``fabric_banks * WORDS_PER_BRAM`` words.  Under the ``range``
+    policy each group lands in a preferred physical bank (balanced by the
+    access graph); under ``interleaved`` a single cursor suffices because
+    consecutive words scatter across banks by construction.
+    """
+    if fabric_policy not in ("interleaved", "range"):
+        raise ValueError(
+            f"unknown fabric sharding policy {fabric_policy!r} "
+            "(expected 'interleaved' or 'range')"
+        )
+    capacity = fabric_banks * WORDS_PER_BRAM
+    for key, bits, need in bram_items:
+        if need > WORDS_PER_BRAM:
+            raise _allocation_error(
+                f"variable {key[0]}.{key[1]} needs {need} words, "
+                f"more than one bank holds ({WORDS_PER_BRAM})",
+                variable=key[1],
+                thread=key[0],
+                words_needed=need,
+                words_available=WORDS_PER_BRAM,
+            )
+    total_need = sum(need for __, __b, need in bram_items)
+    if total_need > capacity:
+        raise _allocation_error(
+            f"program needs {total_need} words but a {fabric_banks}-bank "
+            f"fabric holds {capacity}",
+            words_needed=total_need,
+            words_available=capacity,
+        )
+
+    groups: dict[str, list[tuple[tuple[str, str], int, int]]] = {}
+    for item in sorted(bram_items, key=lambda i: (-i[2], i[0])):
+        groups.setdefault(item[0][0], []).append(item)
+    ordered_groups = sorted(
+        groups.values(),
+        key=lambda items: (-sum(i[2] for i in items), items[0][0]),
+    )
+
+    def place(key, bits, need, base: int) -> None:
+        memory_map.placements[key] = Placement(
+            thread=key[0],
+            variable=key[1],
+            residency=Residency.BRAM,
+            bram=FABRIC_BRAM,
+            base_address=base,
+            words=need,
+            bits=bits,
+        )
+
+    bank_fill = {bank: 0 for bank in range(fabric_banks)}
+    if fabric_policy == "interleaved":
+        cursor = 0
+        for group in ordered_groups:
+            for key, bits, need in group:
+                place(key, bits, need, cursor)
+                cursor += need
+        used = cursor
+        for offset in range(used):
+            bank_fill[offset % fabric_banks] += 1
+    else:  # range: bank = logical // WORDS_PER_BRAM
+        if access is not None:
+            from ..analysis.memgraph import partition_threads_across_banks
+
+            preferred = partition_threads_across_banks(access, fabric_banks)
+        else:
+            preferred = {}
+        next_bank = 0
+        for group in ordered_groups:
+            thread = group[0][0][0]
+            total = sum(need for __, __b, need in group)
+            want = preferred.get(thread)
+            if want is None:
+                want = next_bank % fabric_banks
+                next_bank += 1
+            candidates = [want] + [
+                b for b in range(fabric_banks) if b != want
+            ]
+            target = next(
+                (
+                    b
+                    for b in candidates
+                    if bank_fill[b] + total <= WORDS_PER_BRAM
+                ),
+                None,
+            )
+            if target is not None:
+                for key, bits, need in group:
+                    base = target * WORDS_PER_BRAM + bank_fill[target]
+                    place(key, bits, need, base)
+                    bank_fill[target] += need
+            else:
+                # Oversized group: split item-wise, first-fit over banks.
+                for key, bits, need in group:
+                    target = next(
+                        (
+                            b
+                            for b in candidates
+                            if bank_fill[b] + need <= WORDS_PER_BRAM
+                        ),
+                        None,
+                    )
+                    if target is None:
+                        raise _allocation_error(
+                            f"variable {key[0]}.{key[1]} fits no bank of the "
+                            f"{fabric_banks}-bank fabric (range policy "
+                            "fragmentation)",
+                            variable=key[1],
+                            thread=key[0],
+                            words_needed=need,
+                            words_available=max(
+                                WORDS_PER_BRAM - fill
+                                for fill in bank_fill.values()
+                            ),
+                        )
+                    base = target * WORDS_PER_BRAM + bank_fill[target]
+                    place(key, bits, need, base)
+                    bank_fill[target] += need
+        used = sum(bank_fill.values())
+
+    memory_map.bram_names.append(FABRIC_BRAM)
+    memory_map.bram_fill[FABRIC_BRAM] = used
+    memory_map.fabric_banks = fabric_banks
+    memory_map.fabric_policy = fabric_policy
+    memory_map.fabric_bank_fill = bank_fill
 
 
 def dependencies_per_bram(

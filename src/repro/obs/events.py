@@ -35,6 +35,10 @@ class EventKind:
     WATCHDOG = "watchdog"
     RECOVERY = "recovery"
     ROUND_COMPLETE = "round-complete"
+    #: a cross-bank guarded request released into the fabric crossbar
+    DEP_ROUTED = "dep-routed"
+    #: a cross-bank arm notification applied at its home bank
+    DEP_NOTIFIED = "dep-notified"
 
     #: every kind, in a stable order (docs + validation)
     ALL = (
@@ -48,6 +52,8 @@ class EventKind:
         WATCHDOG,
         RECOVERY,
         ROUND_COMPLETE,
+        DEP_ROUTED,
+        DEP_NOTIFIED,
     )
 
 

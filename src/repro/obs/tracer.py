@@ -69,6 +69,9 @@ class Telemetry:
         self._overrides: dict[str, int] = {}
         self._chain_events: dict[tuple[str, str], int] = {}
         self._watchdog: dict[tuple[str, str], int] = {}
+        self._fabrics: dict = {}
+        #: (fabric, bank, kind) -> cross-bank guarded releases
+        self._routed: dict[tuple[str, str, str], int] = {}
         self._recoveries = 0
         self._stats_watch: list = []
         self._controller_items: list = []
@@ -81,6 +84,16 @@ class Telemetry:
         kernel = getattr(target, "kernel", target)
         self.kernel = kernel
         self._controllers = dict(kernel.controllers)
+        # A memory fabric fans out to named banks: register each bank as a
+        # controller of its own so every event and metric carries the bank
+        # label, while the fabric itself keeps the end-to-end view.
+        self._fabrics = {
+            name: controller
+            for name, controller in self._controllers.items()
+            if hasattr(controller, "fabric_stats")
+        }
+        for fabric in self._fabrics.values():
+            self._controllers.update(fabric.banks)
         self._executors = dict(kernel.executors)
         self._tx = dict(getattr(target, "tx", {}) or {})
         for controller in self._controllers.values():
@@ -253,6 +266,40 @@ class Telemetry:
                 source=bram,
                 client=thread,
                 dep_id=dep_id,
+            )
+        )
+
+    # -- fabric observer callbacks -----------------------------------------------------
+
+    def on_dep_routed(
+        self, fabric: str, dep_id: str, bank: str, client: str,
+        write: bool, cycle: int,
+    ) -> None:
+        """A router-gated cross-bank request was released into the crossbar."""
+        key = (fabric, bank, "write" if write else "read")
+        self._routed[key] = self._routed.get(key, 0) + 1
+        self.events.append(
+            TraceEvent(
+                cycle=cycle,
+                kind=EventKind.DEP_ROUTED,
+                source=fabric,
+                client=client,
+                dep_id=dep_id,
+                detail=f"-> {bank}",
+            )
+        )
+
+    def on_dep_notified(
+        self, fabric: str, dep_id: str, bank: str, cycle: int, latency: int
+    ) -> None:
+        """A cross-bank arm notification reached its home bank."""
+        self.events.append(
+            TraceEvent(
+                cycle=cycle,
+                kind=EventKind.DEP_NOTIFIED,
+                source=bank,
+                dep_id=dep_id,
+                value=latency,
             )
         )
 
@@ -499,6 +546,50 @@ class Telemetry:
             count = self._tx[name].count
             if count:
                 messages.inc(count, interface=name)
+
+        if self._fabrics:
+            crossbar = registry.counter(
+                "sim_fabric_crossbar_requests_total",
+                "Requests forwarded into / delivered out of the crossbar",
+                labels=("fabric", "stat"),
+            )
+            router_events = registry.counter(
+                "sim_fabric_router_events_total",
+                "Cross-bank dependency router activity",
+                labels=("fabric", "kind"),
+            )
+            bank_requests = registry.counter(
+                "sim_fabric_bank_requests_total",
+                "Fabric requests routed to / granted at each bank",
+                labels=("fabric", "bank", "stat"),
+            )
+            for name in sorted(self._fabrics):
+                stats = self._fabrics[name].fabric_stats()
+                for stat in ("forwarded", "delivered"):
+                    if stats["crossbar"][stat]:
+                        crossbar.inc(
+                            stats["crossbar"][stat], fabric=name, stat=stat
+                        )
+                for kind in (
+                    "writes_routed",
+                    "reads_routed",
+                    "notifications_sent",
+                    "notifications_applied",
+                    "gated_cycles",
+                ):
+                    if stats["router"][kind]:
+                        router_events.inc(
+                            stats["router"][kind], fabric=name, kind=kind
+                        )
+                for bank, per_bank in sorted(stats["banks"].items()):
+                    for stat in ("routed", "granted"):
+                        if per_bank[stat]:
+                            bank_requests.inc(
+                                per_bank[stat],
+                                fabric=name,
+                                bank=bank,
+                                stat=stat,
+                            )
 
         outstanding = registry.gauge(
             "sim_dependency_outstanding",

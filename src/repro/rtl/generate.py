@@ -352,6 +352,18 @@ def generate_thread_module(
         m.add_instance(f"reg_{reg.name.replace('$', 'tmp')}",
                        Register(width=reg.width))
 
+    # Fabric mode: a thread whose memory ops land on several banks needs a
+    # return-data mux selecting among the banks' read-data buses.
+    if len(datapath.memory_banks_used) > 1:
+        m.add_instance(
+            "bank_rdata_mux",
+            Mux(width=36, inputs=len(datapath.memory_banks_used)),
+        )
+        m.add_instance(
+            "bank_sel_reg",
+            Register(width=clog2(len(datapath.memory_banks_used))),
+        )
+
     for i, unit in enumerate(datapath.units):
         if unit.kind == "alu":
             m.add_instance(f"alu{i}", Adder(width=unit.width))
@@ -375,7 +387,87 @@ def generate_thread_module(
         depth += max(
             3 if unit.kind == "call" else 1 for unit in datapath.units
         )
+    if len(datapath.memory_banks_used) > 1:
+        depth += Mux(36, len(datapath.memory_banks_used)).logic_levels()
     m.note_path("datapath", depth)
+    return m
+
+
+def generate_crossbar(
+    num_banks: int,
+    clients: int,
+    link_latency: int = 1,
+    batch_size: int = 1,
+    address_bits: int = ADDRESS_BITS,
+    data_bits: int = 36,
+) -> Module:
+    """The fabric's crossbar interconnect between thread clients and banks.
+
+    Structure per bank output: a request decode over the clients' bank-
+    select fields, a round-robin output arbiter, an address/data mux fanning
+    the winning client onto the bank's wrapper port, ``batch_size - 1``
+    extra grant lanes, and ``link_latency`` pipeline register stages on the
+    routed bus.  Both area and the routing path grow monotonically with the
+    bank count: every bank adds an output column, and the bank-select
+    decode plus grant-merge OR tree deepen with ``clog2`` / OR-tree terms.
+    """
+    if num_banks <= 0:
+        raise ValueError("crossbar needs at least one bank")
+    if clients <= 0:
+        raise ValueError("crossbar needs at least one client")
+    m = Module(name=f"fabric_crossbar_b{num_banks}")
+    m.add_port("clk", PortDirection.INPUT)
+    m.add_port("rst", PortDirection.INPUT)
+    m.add_port("in_req", PortDirection.INPUT, clients)
+    m.add_port("in_addr", PortDirection.INPUT, address_bits * clients)
+    m.add_port("in_wdata", PortDirection.INPUT, data_bits * clients)
+    m.add_port("out_grant", PortDirection.OUTPUT, clients)
+    m.add_port("bank_req", PortDirection.OUTPUT, num_banks)
+    m.add_port("bank_addr", PortDirection.OUTPUT, address_bits * num_banks)
+    m.add_port("bank_wdata", PortDirection.OUTPUT, data_bits * num_banks)
+
+    m.add_net("bank_onehot", num_banks * clients)
+    m.add_net("routed_bus", (address_bits + data_bits) * num_banks)
+
+    # Ingress bank-select decode: one decoder per client.
+    for c in range(clients):
+        m.add_instance(
+            f"bank_dec{c}",
+            Decoder(outputs=num_banks),
+            {"sel": "bank_onehot"},
+        )
+
+    lanes = min(batch_size, clients)
+    for b in range(num_banks):
+        m.add_instance(
+            f"out_arb{b}",
+            RoundRobinArbiterMacro(clients=clients),
+        )
+        for lane in range(lanes):
+            m.add_instance(
+                f"out_mux{b}_{lane}",
+                Mux(width=address_bits + data_bits, inputs=clients),
+                {"out": "routed_bus"},
+            )
+        m.add_instance(f"req_merge{b}", RandomLogic(lut_count=clients))
+        for stage in range(max(1, link_latency)):
+            m.add_instance(
+                f"link_reg{b}_{stage}",
+                Register(width=address_bits + data_bits),
+                {"clk": "clk"},
+            )
+
+    # Routing path: bank-select decode -> grant-merge OR tree over the
+    # clients -> output arbiter -> routed-bus mux.  Deepens with both the
+    # client count and the bank count.
+    path = (
+        Decoder(outputs=num_banks).logic_levels()
+        + _or_tree_levels(clients)
+        + RoundRobinArbiterMacro(clients).logic_levels()
+        + Mux(address_bits + data_bits, clients).logic_levels()
+        + clog2(max(2, num_banks))  # bank column fanout buffering
+    )
+    m.note_path("crossbar_route", path)
     return m
 
 

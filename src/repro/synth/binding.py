@@ -16,6 +16,7 @@ generator's baseline).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..analysis.lifetime import thread_lifetimes
 from ..hic import ast
@@ -62,6 +63,9 @@ class DatapathSummary:
     registers: list[RegisterBinding] = field(default_factory=list)
     state_bits: int = 1
     memory_ports_used: set[str] = field(default_factory=set)
+    #: fabric banks this thread's memory ops touch (empty outside fabric
+    #: mode); >1 bank means the thread needs a return-data mux
+    memory_banks_used: set[str] = field(default_factory=set)
 
     @property
     def register_bits(self) -> int:
@@ -95,6 +99,7 @@ def bind_thread(
     memory_map: MemoryMap,
     fsm: ThreadFsm,
     share_registers: bool = False,
+    bank_of: "Callable[[int], str] | None" = None,
 ) -> DatapathSummary:
     """Bind one synthesized thread's datapath.
 
@@ -104,6 +109,9 @@ def bind_thread(
     single state, and sharing across states adds multiplexer inputs.
     With ``share_registers``, variables with disjoint live ranges share
     physical registers (left-edge allocation over the lifetime analysis).
+    ``bank_of`` (fabric mode only) maps a logical word address to the
+    fabric bank serving it, so the summary records which banks the thread's
+    memory ports fan out to.
     """
     summary = DatapathSummary(thread=fsm.thread, state_bits=fsm.state_bits())
 
@@ -120,11 +128,15 @@ def bind_thread(
                     state_ops.extend(_expr_operations(op.offset_expr))
                     state_ops.append(("alu", "+addr"))
                 summary.memory_ports_used.add(op.port)
+                if bank_of is not None:
+                    summary.memory_banks_used.add(bank_of(op.base_address))
             elif isinstance(op, MemReadOp):
                 if op.offset_expr is not None:
                     state_ops.extend(_expr_operations(op.offset_expr))
                     state_ops.append(("alu", "+addr"))
                 summary.memory_ports_used.add(op.port)
+                if bank_of is not None:
+                    summary.memory_banks_used.add(bank_of(op.base_address))
         per_state_ops.append(state_ops)
 
     # Unit count per class = max concurrent demand in one state.
@@ -233,9 +245,10 @@ def bind_program(
     checked: CheckedProgram,
     memory_map: MemoryMap,
     fsms: dict[str, ThreadFsm],
+    bank_of: "Callable[[int], str] | None" = None,
 ) -> dict[str, DatapathSummary]:
     """Bind every thread's datapath."""
     return {
-        name: bind_thread(checked, memory_map, fsm)
+        name: bind_thread(checked, memory_map, fsm, bank_of=bank_of)
         for name, fsm in fsms.items()
     }

@@ -1,0 +1,73 @@
+"""MemRequest presentation/ordering and ControllerStats.deterministic."""
+
+from repro.core.controller import ControllerStats, MemRequest
+
+
+class TestMemRequestRepr:
+    def test_read_repr_is_stable_and_informative(self):
+        request = MemRequest(client="t2", port="B", address=5, write=False)
+        assert repr(request) == "MemRequest(t2: read @5 port B)"
+
+    def test_write_repr_marks_the_kind(self):
+        request = MemRequest(
+            client="t1", port="D", address=0, write=True, data=7
+        )
+        assert repr(request) == "MemRequest(t1: write @0 port D)"
+
+    def test_dep_id_appears_when_present(self):
+        request = MemRequest(
+            client="t2", port="B", address=5, write=False, dep_id="mt1"
+        )
+        assert repr(request) == "MemRequest(t2: read @5 port B dep=mt1)"
+
+
+class TestMemRequestOrdering:
+    def test_sorts_by_client_first(self):
+        a = MemRequest(client="t1", port="D", address=9, write=True)
+        b = MemRequest(client="t2", port="A", address=0, write=False)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_ties_break_on_port_then_address(self):
+        low = MemRequest(client="t1", port="A", address=3, write=False)
+        mid = MemRequest(client="t1", port="A", address=7, write=False)
+        high = MemRequest(client="t1", port="B", address=0, write=False)
+        assert sorted([high, mid, low]) == [low, mid, high]
+
+    def test_reads_order_before_writes_at_the_same_address(self):
+        read = MemRequest(client="t1", port="A", address=3, write=False)
+        write = MemRequest(client="t1", port="A", address=3, write=True)
+        assert read < write
+
+    def test_missing_dep_id_orders_before_any_dep_id(self):
+        bare = MemRequest(client="t1", port="B", address=3, write=False)
+        dep = MemRequest(
+            client="t1", port="B", address=3, write=False, dep_id="mt1"
+        )
+        assert bare < dep
+
+    def test_comparison_with_other_types_is_not_implemented(self):
+        request = MemRequest(client="t1", port="A", address=0, write=False)
+        assert request.__lt__("not a request") is NotImplemented
+
+
+class TestControllerStatsDeterministic:
+    def test_constant_waits_are_deterministic(self):
+        stats = ControllerStats.from_waits([4, 4, 4, 4])
+        assert stats.deterministic
+        assert (stats.min_wait, stats.max_wait) == (4, 4)
+        assert stats.mean_wait == 4.0
+
+    def test_varying_waits_are_not(self):
+        stats = ControllerStats.from_waits([2, 4, 3])
+        assert not stats.deterministic
+        assert (stats.min_wait, stats.max_wait) == (2, 4)
+
+    def test_empty_sample_set_counts_as_deterministic(self):
+        stats = ControllerStats.from_waits([])
+        assert stats.deterministic
+        assert stats.count == 0
+        assert stats.mean_wait == 0.0
+
+    def test_single_sample_is_deterministic(self):
+        assert ControllerStats.from_waits([17]).deterministic

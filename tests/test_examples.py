@@ -27,6 +27,7 @@ def test_expected_examples_present():
     assert {
         "quickstart",
         "ip_forwarding",
+        "fabric_scaling",
         "latency_study",
         "design_space_exploration",
         "deadlock_detection",
