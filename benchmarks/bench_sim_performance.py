@@ -2,13 +2,19 @@
 
 Not a paper experiment — this group tracks the reproduction's own
 performance so regressions in the simulator kernel or the flow driver are
-visible: cycles simulated per second for the 4-consumer forwarding design,
-full-flow compilation latency, and the telemetry layer's overhead (the
-observability budget: < 10% on the fully traced path, a no-op when
-disabled).  The overhead test also emits ``BENCH_sim.json`` at the repo
-root — the machine-readable artifact CI uploads.
+visible: cycles simulated per second for the 4-consumer forwarding design
+on both kernel backends, the event-wheel kernel's speedup on the
+Figure-1 dependency pattern, full-flow compilation latency, and the
+telemetry layer's overhead (the observability budget: < 10% on the fully
+traced path, a no-op when disabled).  The overhead and speedup tests
+emit ``BENCH_sim.json`` at the repo root — the machine-readable artifact
+CI uploads; with ``BENCH_ENFORCE_BASELINE=1`` the speedup test also
+fails on a >20% wheel-throughput regression against the committed
+baseline.
 """
 
+import json
+import os
 import time
 from pathlib import Path
 
@@ -30,7 +36,27 @@ CYCLES = 1000
 #: the untraced one.
 OVERHEAD_BUDGET = 1.10
 
+#: The Figure-1 dependency pattern under system traffic: one producer
+#: feeding two consumers through a guarded word (dn=2), driven by sparse
+#: packet arrivals.  Long idle stretches between packets are what the
+#: event-wheel kernel exists to skip.
+FAST_CYCLES = 20_000
+FAST_RATE = 0.004
+
+#: Acceptance floor for the event-wheel kernel on that workload
+#: (telemetry disabled), and the allowed regression against the
+#: committed baseline when ``BENCH_ENFORCE_BASELINE=1``.
+SPEEDUP_TARGET = 5.0
+BASELINE_TOLERANCE = 0.80
+
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: The committed baseline, captured at import time — the tests below
+#: rewrite ``BENCH_sim.json``, so read it before any of them run.
+try:
+    _COMMITTED_BASELINE = json.loads(BENCH_JSON_PATH.read_text())
+except (OSError, ValueError):  # first run: no baseline yet
+    _COMMITTED_BASELINE = {}
 
 
 @pytest.fixture(scope="module")
@@ -41,11 +67,14 @@ def forwarding_design():
 
 
 @pytest.mark.benchmark(group="harness")
-def test_simulation_throughput(benchmark, forwarding_design):
+@pytest.mark.parametrize("kernel", ["reference", "wheel"])
+def test_simulation_throughput(benchmark, forwarding_design, kernel):
     functions = forwarding_functions(demo_table())
 
     def run():
-        sim = build_simulation(forwarding_design, functions=functions)
+        sim = build_simulation(
+            forwarding_design, functions=functions, kernel=kernel
+        )
         generator = BernoulliTraffic(rate=0.06, seed=1)
         sim.kernel.add_pre_cycle_hook(generator.attach(sim.rx["eth_in"]))
         sim.run(CYCLES)
@@ -56,6 +85,8 @@ def test_simulation_throughput(benchmark, forwarding_design):
     assert sim.tx["eth_out"].count > 0
     mean_s = benchmark.stats.stats.mean
     benchmark.extra_info["cycles_per_second"] = round(CYCLES / mean_s)
+    if kernel == "wheel":
+        benchmark.extra_info["cycles_skipped"] = sim.kernel.cycles_skipped
 
 
 @pytest.mark.benchmark(group="harness")
@@ -131,16 +162,102 @@ def test_telemetry_overhead_budget(benchmark, forwarding_design):
         f"telemetry overhead {ratio:.3f}x exceeds {OVERHEAD_BUDGET}x budget"
     )
 
-    payload = {
-        "schema": "repro.bench.sim/1",
-        "cycles": CYCLES,
-        "cycles_per_second_disabled": round(CYCLES / disabled),
-        "cycles_per_second_enabled": round(CYCLES / enabled),
-        "telemetry_overhead_ratio": round(ratio, 4),
-        "overhead_budget": OVERHEAD_BUDGET,
-        "telemetry_summary": summary_dict(sim.telemetry),
+    try:
+        payload = json.loads(BENCH_JSON_PATH.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload.update(
+        {
+            "schema": "repro.bench.sim/2",
+            "cycles": CYCLES,
+            "cycles_per_second_disabled": round(CYCLES / disabled),
+            "cycles_per_second_enabled": round(CYCLES / enabled),
+            "telemetry_overhead_ratio": round(ratio, 4),
+            "overhead_budget": OVERHEAD_BUDGET,
+            "telemetry_summary": summary_dict(sim.telemetry),
+        }
+    )
+    write_bench_json(str(BENCH_JSON_PATH), payload)
+
+
+def _kernel_timed_run(design, functions, kernel):
+    """One telemetry-disabled run of the Figure-1-pattern workload."""
+    sim = build_simulation(design, functions=functions, kernel=kernel)
+    generator = BernoulliTraffic(rate=FAST_RATE, seed=1)
+    sim.kernel.add_pre_cycle_hook(generator.attach(sim.rx["eth_in"]))
+    start = time.perf_counter()
+    sim.run(FAST_CYCLES)
+    return time.perf_counter() - start, sim
+
+
+@pytest.mark.benchmark(group="harness")
+def test_wheel_kernel_speedup(benchmark):
+    """The event-wheel kernel must be >= 5x the reference kernel on the
+    Figure-1 dependency pattern (1 producer, 2 consumers, dn=2) under
+    sparse packet traffic with telemetry disabled — the workload whose
+    idle stretches motivated the fast backend.  Updates the ``kernels``
+    section of ``BENCH_sim.json`` and, when ``BENCH_ENFORCE_BASELINE=1``,
+    fails if wheel throughput regressed >20% against the committed
+    baseline.
+    """
+    design = compile_design(
+        forwarding_source(2), organization=Organization.ARBITRATED
+    )
+    functions = forwarding_functions(demo_table())
+    reps = 3
+
+    def wheel():
+        return _kernel_timed_run(design, functions, "wheel")
+
+    elapsed, wheel_sim = benchmark.pedantic(wheel, rounds=1, warmup_rounds=1)
+    wheel_times = [elapsed]
+    reference_times = []
+    for __ in range(reps):
+        reference_times.append(
+            _kernel_timed_run(design, functions, "reference")[0]
+        )
+        wheel_times.append(wheel()[0])
+    reference_s = min(reference_times)
+    wheel_s = min(wheel_times)
+    speedup = reference_s / wheel_s
+
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cycles_skipped"] = wheel_sim.kernel.cycles_skipped
+    assert wheel_sim.kernel.cycles_skipped > FAST_CYCLES // 2
+    assert speedup >= SPEEDUP_TARGET, (
+        f"wheel kernel speedup {speedup:.2f}x below the "
+        f"{SPEEDUP_TARGET}x target"
+    )
+
+    wheel_cps = round(FAST_CYCLES / wheel_s)
+    try:
+        payload = json.loads(BENCH_JSON_PATH.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload["schema"] = "repro.bench.sim/2"
+    payload["kernels"] = {
+        "workload": (
+            "figure-1 dependency pattern: forwarding_source(2), "
+            f"rate {FAST_RATE}, {FAST_CYCLES} cycles, telemetry off"
+        ),
+        "reference_cycles_per_second": round(FAST_CYCLES / reference_s),
+        "wheel_cycles_per_second": wheel_cps,
+        "wheel_speedup": round(speedup, 2),
+        "wheel_cycles_skipped": wheel_sim.kernel.cycles_skipped,
+        "speedup_target": SPEEDUP_TARGET,
     }
     write_bench_json(str(BENCH_JSON_PATH), payload)
+
+    if os.environ.get("BENCH_ENFORCE_BASELINE") == "1":
+        baseline = _COMMITTED_BASELINE.get("kernels", {}).get(
+            "wheel_cycles_per_second"
+        )
+        assert baseline, "no committed wheel baseline in BENCH_sim.json"
+        assert wheel_cps >= BASELINE_TOLERANCE * baseline, (
+            f"wheel kernel throughput {wheel_cps} cyc/s regressed more "
+            f"than {1 - BASELINE_TOLERANCE:.0%} below the committed "
+            f"baseline {baseline} cyc/s"
+        )
 
 
 @pytest.mark.benchmark(group="harness")

@@ -89,6 +89,16 @@ def _parser() -> argparse.ArgumentParser:
         help="write a CSV metrics dump of the simulation to FILE",
     )
     parser.add_argument(
+        "--kernel",
+        choices=["reference", "wheel"],
+        default="wheel",
+        help=(
+            "simulation backend: 'wheel' (default) skips provably idle "
+            "cycles and is cycle-equivalent to 'reference', which ticks "
+            "every component every cycle (see docs/simulation_kernels.md)"
+        ),
+    )
+    parser.add_argument(
         "--trace-level",
         choices=["deps", "full"],
         default="deps",
@@ -264,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         args.simulate = 1000
 
     if args.simulate > 0:
-        sim = build_simulation(design)
+        sim = build_simulation(design, kernel=args.kernel)
         telemetry = None
         if any(telemetry_outputs):
             telemetry = sim.attach_telemetry(trace_level=args.trace_level)
@@ -289,6 +299,11 @@ def main(argv: list[str] | None = None) -> int:
             sim.kernel.add_post_cycle_hook(vcd.hook)
         result = sim.run(args.simulate)
         print(result.describe())
+        if hasattr(sim.kernel, "cycles_skipped"):
+            print(
+                f"kernel: wheel, {sim.kernel.cycles_executed} cycles "
+                f"executed, {sim.kernel.cycles_skipped} skipped"
+            )
         for name, controller in sim.controllers.items():
             if hasattr(controller, "fabric_stats"):
                 stats = controller.fabric_stats()

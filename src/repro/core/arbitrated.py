@@ -197,6 +197,42 @@ class ArbitratedController(MemoryController):
 
         return results
 
+    # -- quiescence (fast-kernel wake contract) ---------------------------------------
+
+    def next_wake(self, cycle: int):
+        """Quiescent unless some re-asserted blocked request is grantable.
+
+        Every piece of mutable wrapper state (deplist counters, CAM
+        mirror, round-robin pointers, override count) moves only when a
+        request is *granted*; arbitration itself is combinational.  So
+        with only the current blocked set re-asserted, re-running
+        ``_arbitrate_cycle`` is a no-op exactly when no blocked request
+        passes its guard — the same grantability rules as the policy:
+
+        * port A always grants one requester per cycle;
+        * port D grants when the producer write is allowed;
+        * port C grants when the consumer read is allowed;
+        * port B grants only while ports C and D have no requests at all.
+        """
+        ports = {"A": [], "B": [], "C": [], "D": []}
+        for blocked in self.blocked:
+            ports[blocked.request.port].append(blocked.request)
+        if ports["A"]:
+            return cycle + 1
+        for request in ports["D"]:
+            if self.deplist.producer_write_allowed(
+                request.address, request.client, request.dep_id
+            ):
+                return cycle + 1
+        for request in ports["C"]:
+            if self.deplist.consumer_read_allowed(
+                request.address, request.client, request.dep_id
+            ):
+                return cycle + 1
+        if ports["B"] and not ports["C"] and not ports["D"]:
+            return cycle + 1
+        return None
+
     # -- watchdog recovery tap --------------------------------------------------------
 
     def force_unblock(self, request: MemRequest, cycle: int) -> bool:

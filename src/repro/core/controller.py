@@ -203,6 +203,33 @@ class MemoryController(abc.ABC):
         organization could do anything; the base class cannot."""
         return False
 
+    # -- quiescence (fast-kernel wake contract) -------------------------------------
+
+    def next_wake(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which arbitrating this controller
+        could differ from doing nothing, assuming its clients re-assert
+        exactly the requests currently in ``self.blocked`` and submit no
+        new ones.
+
+        ``None`` means *quiescent*: the controller's observable state
+        (grants, counters, arbiter pointers) provably cannot change
+        until a new request arrives, so the fast kernel may skip it for
+        any number of cycles.  The conservative base implementation
+        wakes next cycle whenever anything is blocked; organizations
+        override this with their actual grantability rules.  Returned
+        cycles must be ``> cycle``.
+        """
+        return cycle + 1 if self.blocked else None
+
+    def note_idle_cycles(self, cycle: int) -> None:
+        """Fast-kernel seam: the kernel skipped straight past a quiescent
+        stretch and ``cycle`` is the last cycle it did *not* arbitrate.
+        On a quiescent controller ``arbitrate`` only tracks the current
+        cycle (which stamps the issue cycles of later submissions), so
+        catching ``self.cycle`` up is exactly the skipped no-op work.
+        """
+        self.cycle = cycle
+
     def reset(self) -> None:
         self._pending.clear()
         self._issue_cycle.clear()

@@ -129,6 +129,29 @@ class EventDrivenController(MemoryController):
         1-based rank in the dependency's consumer chain."""
         return self.schedule.consumer_rank(dep_id, thread) + 1
 
+    # -- quiescence (fast-kernel wake contract) ---------------------------------------
+
+    def next_wake(self, cycle: int):
+        """Quiescent unless a re-asserted blocked request can be served.
+
+        The selection logic advances only when the slot-holding thread's
+        access is granted — a blocked schedule does not tick on its own
+        — so the wrapper is quiescent exactly when no blocked port-A
+        request exists and no blocked guarded request matches the
+        current slot.
+        """
+        slot = self.selection.current
+        for blocked in self.blocked:
+            request = blocked.request
+            if request.port == "A":
+                return cycle + 1
+            if slot is not None and request.dep_id is not None:
+                if self.selection.enabled(
+                    request.client, request.dep_id, request.write
+                ):
+                    return cycle + 1
+        return None
+
     # -- watchdog recovery tap --------------------------------------------------------
 
     def force_unblock(self, request: MemRequest, cycle: int) -> bool:

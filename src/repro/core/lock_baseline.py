@@ -207,6 +207,18 @@ class LockBaselineController(MemoryController):
         self.stats.useful_accesses += 1
         return MemResult(granted=True, data=job.result_data)
 
+    # -- quiescence (fast-kernel wake contract) ---------------------------------------
+
+    def next_wake(self, cycle: int):
+        """Never quiescent while anything is blocked: every contended
+        cycle burns spin counters and advances job phases even when no
+        access completes, so the fast kernel must execute lock-baseline
+        contention cycle by cycle.  With no blocked requests, parked
+        jobs cannot progress (a job only steps while its client
+        re-asserts a request) and the controller is quiescent.
+        """
+        return cycle + 1 if self.blocked else None
+
     def reset(self) -> None:
         super().reset()
         self.deplist.reset()

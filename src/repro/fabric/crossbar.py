@@ -79,6 +79,17 @@ class Crossbar:
     def occupancy(self, bank: int) -> int:
         return len(self._queues[bank])
 
+    def next_ready(self, cycle: int):
+        """Earliest future cycle at which any queued request becomes
+        deliverable (fast-kernel wake contract); ``None`` when empty."""
+        ready = None
+        for queue in self._queues.values():
+            for entry in queue:
+                at = max(cycle + 1, entry.ready_at(self.link_latency))
+                if ready is None or at < ready:
+                    ready = at
+        return ready
+
     def deliveries(self, cycle: int) -> dict[int, list[MemRequest]]:
         """Pop up to ``batch_size`` arrived requests per bank.
 

@@ -105,6 +105,15 @@ class FabricMemoryView:
         bram, local = self._locate(address)
         return bram.peek(local)
 
+    @property
+    def width(self) -> int:
+        return next(iter(self._banks.values())).width
+
+    def flip_bit(self, address: int, bit: int) -> None:
+        """SEU seam: flip one stored bit in the owning bank's BRAM."""
+        bram, local = self._locate(address)
+        bram.flip_bit(local, bit)
+
     def snapshot(self) -> tuple[int, ...]:
         return tuple(self.peek(a) for a in range(self.depth))
 
@@ -426,6 +435,49 @@ class MemoryFabric(MemoryController):
             del self._tracked[key]
         return results
 
+    # -- quiescence (fast-kernel wake contract) -----------------------------------------
+
+    def next_wake(self, cycle: int):
+        """Earliest future cycle the fabric pipeline can move.
+
+        * a *gated* managed request accrues ``gated_cycles`` every
+          asserted cycle, so gating is never skippable;
+        * *in-flight* requests wake when the crossbar can deliver;
+        * an in-flight arm notification wakes the router at arrival;
+        * *delivered* requests defer to their banks' own wake rules
+          (bank state only moves on grants).
+        """
+        wakes = []
+        notification = self.router.next_notification(cycle)
+        if notification is not None:
+            wakes.append(notification)
+        in_flight = False
+        delivered = False
+        for tracked in self._tracked.values():
+            if tracked.state is _State.GATED:
+                return cycle + 1
+            if tracked.state is _State.IN_FLIGHT:
+                in_flight = True
+            elif tracked.state is _State.DELIVERED:
+                delivered = True
+        if in_flight:
+            ready = self.crossbar.next_ready(cycle)
+            if ready is not None:
+                wakes.append(ready)
+        if delivered:
+            for bank in self.banks.values():
+                wake = bank.next_wake(cycle)
+                if wake is not None:
+                    wakes.append(wake)
+        return min(wakes) if wakes else None
+
+    def note_idle_cycles(self, cycle: int) -> None:
+        """Catch the fabric's and every bank's cycle register up after a
+        skip (each bank's ``arbitrate`` would have tracked it)."""
+        super().note_idle_cycles(cycle)
+        for bank in self.banks.values():
+            bank.note_idle_cycles(cycle)
+
     # -- watchdog recovery -------------------------------------------------------------
 
     def force_unblock(self, request: MemRequest, cycle: int) -> bool:
@@ -511,7 +563,8 @@ def build_fabric(
     for name in plan.bank_names:
         bram = BlockRam(name)
         deps = plan.native_dep_groups[name]
-        deplist = plan.bank_deplists[name]
+        # Controllers mutate guard counters; never share the plan's copy.
+        deplist = plan.bank_deplists[name].clone()
         org = per_bank[name]
         if org is Organization.ARBITRATED:
             consumers = sorted(

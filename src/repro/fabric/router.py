@@ -155,6 +155,15 @@ class DependencyRouter:
         entry.outstanding = max(0, entry.outstanding - 1)
         self.events.append(("read-granted", dep_id, cycle))
 
+    def next_notification(self, cycle: int):
+        """Earliest future cycle an in-flight arm notification lands
+        (fast-kernel wake contract); ``None`` when nothing is travelling."""
+        if not self._in_flight:
+            return None
+        return max(
+            cycle + 1, min(n.arrival_cycle for n in self._in_flight)
+        )
+
     def tick(self, cycle: int) -> list[str]:
         """Apply arm notifications that have reached their home bank."""
         arrived = [n for n in self._in_flight if n.arrival_cycle <= cycle]

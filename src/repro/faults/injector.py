@@ -154,6 +154,42 @@ class FaultInjector:
             return
         self.log.append((fault.at_cycle, fault.describe()))
 
+    # -- quiescence (fast-kernel wake contract) -----------------------------------------
+
+    def next_wake(self, cycle: int, limit: int, kernel):
+        """Earliest future cycle an armed fault changes behaviour.
+
+        One-shots and stall windows have exact boundaries.  Drop and
+        duplicate faults interact with *every* submission while live
+        (each re-asserted request burns a drop count or a replay), so
+        the injector pins the simulation to cycle-by-cycle execution
+        until those faults are exhausted — fault semantics must not
+        depend on which cycles the kernel chose to execute.
+        """
+        wakes = []
+        for fault in self._one_shots:
+            if fault.at_cycle > cycle:
+                wakes.append(fault.at_cycle)
+        for state in self._stalls:
+            fault = state.fault
+            if fault.at_cycle > cycle:
+                wakes.append(fault.at_cycle)
+            elif state.active(cycle) and not state.announced:
+                wakes.append(cycle + 1)
+            if fault.duration is not None:
+                end = fault.at_cycle + fault.duration
+                if end > cycle:
+                    wakes.append(end)
+        for state in self._drops.values():
+            if state.remaining > 0:
+                wakes.append(max(cycle + 1, state.fault.at_cycle))
+        for state in self._duplicates.values():
+            if state.captured is None:
+                wakes.append(max(cycle + 1, state.fault.at_cycle))
+            elif state.replays_left > 0:
+                wakes.append(cycle + 1)
+        return min(wakes) if wakes else None
+
     # -- request taps -----------------------------------------------------------------
 
     def _make_tap(self, bram_name: str):

@@ -92,7 +92,12 @@ class Watchdog:
         self._controllers: dict[str, MemoryController] = {}
         self._reported: set[tuple] = set()
         self._last_advances: Optional[int] = None
-        self._stalled_cycles = 0
+        #: cycle of the last observed progress (advance counter change);
+        #: the stall age is derived as ``cycle - _progress_cycle`` so the
+        #: detector is insensitive to *when* the hook runs — the fast
+        #: kernel may skip idle cycles and still fire at the same cycle
+        #: number as the reference kernel
+        self._progress_cycle = 0
         self._deadlock_reported = False
 
     # -- wiring ---------------------------------------------------------------------
@@ -117,6 +122,37 @@ class Watchdog:
     def hook(self, cycle: int, kernel) -> None:
         self._check_blocked_reads(cycle)
         self._check_system_deadlock(cycle, kernel)
+
+    def next_wake(self, cycle: int, limit: int, kernel):
+        """Fast-kernel wake contract: the earliest future cycle either
+        detector could fire, assuming nothing else changes meanwhile.
+
+        * an unreported blocked request trips the read timeout exactly
+          at ``issue_cycle + read_timeout``;
+        * the deadlock detector trips at ``progress cycle +
+          deadlock_window`` while anything is blocked and unreported.
+
+        Any activity before that (a grant, an advance, new traffic)
+        executes a real cycle anyway, after which the kernel re-asks.
+        ``None`` means the watchdog cannot fire until something else
+        wakes the system.
+        """
+        wakes = []
+        blocked_anywhere = False
+        for name in sorted(self._controllers):
+            for blocked in self._controllers[name].blocked:
+                blocked_anywhere = True
+                token = (name, blocked.request.key, blocked.issue_cycle)
+                if token in self._reported:
+                    continue
+                wakes.append(
+                    max(cycle + 1, blocked.issue_cycle + self.read_timeout)
+                )
+        if blocked_anywhere and not self._deadlock_reported:
+            wakes.append(
+                max(cycle + 1, self._progress_cycle + self.deadlock_window)
+            )
+        return min(wakes) if wakes else None
 
     def _check_blocked_reads(self, cycle: int) -> None:
         for name in sorted(self._controllers):
@@ -182,17 +218,17 @@ class Watchdog:
         advances = kernel.total_advances()
         if advances != self._last_advances:
             self._last_advances = advances
-            self._stalled_cycles = 0
+            self._progress_cycle = cycle
             self._deadlock_reported = False
             return
-        self._stalled_cycles += 1
+        stalled_cycles = cycle - self._progress_cycle
         blocked_anywhere = [
             (name, blocked)
             for name in sorted(self._controllers)
             for blocked in self._controllers[name].blocked
         ]
         if (
-            self._stalled_cycles < self.deadlock_window
+            stalled_cycles < self.deadlock_window
             or not blocked_anywhere
             or self._deadlock_reported
         ):
@@ -220,14 +256,15 @@ class Watchdog:
                 action = "warned"
             # Give the recovery a full window to restore progress before
             # the detector may fire again.
-            self._stalled_cycles = 0
+            self._progress_cycle = cycle
             self._deadlock_reported = False
+            stalled_cycles = self.deadlock_window
         event = WatchdogEvent(
             cycle=cycle,
             kind="system-deadlock",
             action=action,
             client=",".join(clients),
-            blocked_cycles=self._stalled_cycles or self.deadlock_window,
+            blocked_cycles=stalled_cycles,
         )
         self.events.append(event)
         if self.observer is not None:

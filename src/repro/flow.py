@@ -349,9 +349,17 @@ class Simulation:
         return Telemetry(**kwargs).attach(self)
 
 
+#: Simulation kernel backends (see ``docs/simulation_kernels.md``):
+#: "reference" ticks every component every cycle; "wheel" is the
+#: cycle-equivalent event-wheel kernel that skips provably idle stretches.
+SIMULATION_KERNELS = ("reference", "wheel")
+
+
 def build_simulation(
     design: CompiledDesign,
     functions: Optional[dict[str, Callable[..., int]]] = None,
+    *,
+    kernel: str = "reference",
 ) -> Simulation:
     """Instantiate controllers, interfaces, and executors for a design."""
     controllers: dict[str, MemoryController] = {}
@@ -361,11 +369,12 @@ def build_simulation(
         controllers[FABRIC_BRAM] = build_fabric(
             design.organization, design.fabric
         )
-        return _finish_simulation(design, controllers, functions)
+        return _finish_simulation(design, controllers, functions, kernel)
     for bram_name in design.memory_map.bram_names:
         bram = BlockRam(bram_name)
         deps = design.dep_groups.get(bram_name, [])
-        deplist = design.deplists[bram_name]
+        # Controllers mutate guard counters; never share the design's copy.
+        deplist = design.deplists[bram_name].clone()
         if design.organization is Organization.ARBITRATED:
             consumer_clients = sorted(
                 {t for dep in deps for t in dep.consumer_threads()}
@@ -391,13 +400,14 @@ def build_simulation(
     for bank in design.memory_map.offchip_names:
         controllers[bank] = OffchipController(OffchipMemory(bank))
 
-    return _finish_simulation(design, controllers, functions)
+    return _finish_simulation(design, controllers, functions, kernel)
 
 
 def _finish_simulation(
     design: CompiledDesign,
     controllers: dict[str, MemoryController],
     functions: Optional[dict[str, Callable[..., int]]],
+    kernel: str = "reference",
 ) -> Simulation:
     """Shared tail of :func:`build_simulation`: interfaces, executors, kernel."""
     rx = {name: RxInterface(name) for name in design.checked.interfaces}
@@ -418,10 +428,20 @@ def _finish_simulation(
         for thread, fsm in design.fsms.items()
     }
 
-    kernel = SimulationKernel(executors, controllers)
+    if kernel not in SIMULATION_KERNELS:
+        raise ValueError(
+            f"unknown simulation kernel {kernel!r} "
+            f"(expected one of {SIMULATION_KERNELS})"
+        )
+    if kernel == "wheel":
+        from .sim.wheel import FastKernel
+
+        sim_kernel: SimulationKernel = FastKernel(executors, controllers)
+    else:
+        sim_kernel = SimulationKernel(executors, controllers)
     return Simulation(
         design=design,
-        kernel=kernel,
+        kernel=sim_kernel,
         controllers=controllers,
         executors=executors,
         rx=rx,

@@ -20,7 +20,7 @@ guarded; follow-on words are plain accesses, exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..hic.pragmas import Dependency
 from .allocation import MemoryMap
@@ -100,6 +100,19 @@ class DependencyList:
     def reset(self) -> None:
         for entry in self.entries:
             entry.reset()
+
+    def clone(self) -> "DependencyList":
+        """A fresh runtime instance of this configuration.
+
+        Controllers mutate their entries' ``outstanding`` counters, so a
+        compiled design's deplist must be cloned per simulation — two
+        simulations built from one design must not share guard state.
+        """
+        return DependencyList(
+            bram=self.bram,
+            entries=[replace(entry, outstanding=0) for entry in self.entries],
+            address_bits=self.address_bits,
+        )
 
     # -- the CAM match ------------------------------------------------------------
 

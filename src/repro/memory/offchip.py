@@ -97,6 +97,17 @@ class OffchipController(MemoryController):
                 self._current = None
         return results
 
+    # -- quiescence (fast-kernel wake contract) ---------------------------------------
+
+    def next_wake(self, cycle: int):
+        """Wake when the in-flight transaction can complete, or next
+        cycle if a blocked request could be accepted onto the free port."""
+        if self._current is not None:
+            return max(cycle + 1, self._finish_cycle)
+        if self.blocked:
+            return cycle + 1
+        return None
+
     def reset(self) -> None:
         super().reset()
         self._current = None

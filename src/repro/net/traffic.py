@@ -57,14 +57,56 @@ class TrafficGenerator:
 
 @dataclass
 class _AttachedHook:
+    """Pre-cycle hook injecting a generator's packets into an rx queue.
+
+    The hook draws ``generator.packets_at(c)`` exactly once per cycle,
+    in increasing cycle order — whether the kernel executes every cycle
+    (the reference kernel calls ``__call__`` per cycle) or skips idle
+    stretches (the fast kernel calls :meth:`next_wake` to look ahead).
+    Lookahead draws are buffered and delivered at their exact cycles,
+    so the generator's RNG stream and the injected packet sequence are
+    identical under both kernels.
+    """
+
     generator: TrafficGenerator
     rx_interface: object
     injected: int = 0
+    #: cycles ``< _drawn_until`` have been drawn from the generator
+    _drawn_until: int = field(default=0, init=False, repr=False)
+    #: drawn-ahead arrivals not yet injected, keyed by cycle
+    _buffered: dict = field(default_factory=dict, init=False, repr=False)
+
+    def _draw_through(self, cycle: int) -> None:
+        while self._drawn_until <= cycle:
+            packets = self.generator.packets_at(self._drawn_until)
+            if packets:
+                self._buffered[self._drawn_until] = packets
+            self._drawn_until += 1
 
     def __call__(self, cycle: int, kernel) -> None:
-        for packet in self.generator.packets_at(cycle):
+        self._draw_through(cycle)
+        for packet in self._buffered.pop(cycle, ()):
             self.rx_interface.push(packet.to_message())
             self.injected += 1
+
+    def next_wake(self, cycle: int, limit: int, kernel):
+        """Earliest arrival in ``(cycle, limit]``; ``None`` if silent.
+
+        Part of the fast-kernel hook wake contract: the kernel only
+        skips a cycle range after every hook has bounded it.  Draws at
+        most through ``limit``, preserving the once-per-cycle order.
+        """
+        pending = [c for c in self._buffered if c > cycle]
+        while self._drawn_until <= limit:
+            drawn = self._drawn_until
+            packets = self.generator.packets_at(drawn)
+            self._drawn_until += 1
+            if packets:
+                self._buffered[drawn] = packets
+                if drawn > cycle:
+                    pending.append(drawn)
+                    break  # drawn in order: this is the earliest new one
+        return min(pending) if pending else None
 
 
 @dataclass

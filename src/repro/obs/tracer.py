@@ -357,6 +357,17 @@ class Telemetry:
             if count > peaks.get(bram, 0):
                 peaks[bram] = count
 
+    def on_idle_cycles(self, first_cycle: int, count: int, kernel) -> None:
+        """Fast-kernel batch notification for a skipped idle stretch.
+
+        The skipped cycles ``first_cycle .. first_cycle + count - 1``
+        are provably quiescent: no grants, no round completions, and a
+        frozen blocked set that :meth:`on_cycle` already sampled at the
+        last executed cycle.  The only per-cycle accumulator that moves
+        during idle time is the cycle count itself.
+        """
+        self.cycles_observed += count
+
     # -- registry materialization ------------------------------------------------------
 
     def finalize(self) -> MetricsRegistry:

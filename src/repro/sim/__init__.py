@@ -1,6 +1,8 @@
 """Cycle-accurate simulation of synthesized designs.
 
 * :mod:`~repro.sim.kernel` — the two-phase clocked simulation kernel;
+* :mod:`~repro.sim.wheel` — the event-wheel fast kernel (cycle-equivalent,
+  idle stretches skipped via the components' ``next_wake`` contract);
 * :mod:`~repro.sim.executor` — FSM thread interpreters with exact 32-bit
   arithmetic and interface models;
 * :mod:`~repro.sim.vcd` — VCD trace writing for waveform inspection;
@@ -18,6 +20,7 @@ from .executor import (
     to_unsigned,
 )
 from .kernel import SimulationKernel, SimulationResult
+from .wheel import FastKernel, TimingWheel
 from .probes import (
     ConsumerLatencyProbe,
     ConsumerLatencySummary,
@@ -37,6 +40,8 @@ __all__ = [
     "to_unsigned",
     "SimulationKernel",
     "SimulationResult",
+    "FastKernel",
+    "TimingWheel",
     "ConsumerLatencyProbe",
     "ConsumerLatencySummary",
     "ThroughputProbe",

@@ -37,6 +37,124 @@ from ..synth.fsm import (
 MASK32 = (1 << 32) - 1
 
 
+def _free_names(expr: ast.Expr, acc: set) -> set:
+    """Collect register names an expression reads (for park analysis)."""
+    if isinstance(expr, ast.Name):
+        acc.add(expr.ident)
+    elif isinstance(expr, ast.Unary):
+        _free_names(expr.operand, acc)
+    elif isinstance(expr, ast.Binary):
+        _free_names(expr.left, acc)
+        _free_names(expr.right, acc)
+    elif isinstance(expr, ast.Conditional):
+        _free_names(expr.cond, acc)
+        _free_names(expr.then_value, acc)
+        _free_names(expr.else_value, acc)
+    elif isinstance(expr, ast.Call):
+        for arg in expr.args:
+            _free_names(arg, acc)
+    return acc
+
+
+@dataclass
+class ParkClass:
+    """Static classification of one FSM state for the fast kernel.
+
+    A state is *parkable* when re-running :meth:`ThreadExecutor.phase1`
+    in it is provably a no-op on the architectural state (registers,
+    memories, interfaces) apart from per-cycle statistics and the
+    re-assertion of the same memory request lines.  The three parkable
+    shapes mirror how a blocked FSM state holds in hardware:
+
+    * ``"mem"`` — blocked on a memory request: the request lines stay
+      asserted with the same address/data every cycle;
+    * ``"recv"`` — blocked on an empty ingress queue: nothing happens
+      until a message arrives;
+    * ``"terminal"`` — no transition can fire and the state's ops are
+      register-idempotent: the FSM holds forever.
+
+    ``kind is None`` means the state is not parkable (e.g. it transmits
+    a message per cycle, or a register feeds back on itself) — the fast
+    kernel then executes it cycle by cycle, which is always correct.
+    """
+
+    kind: Optional[str]
+    #: interfaces a "recv" park waits on (unpark when any has backlog)
+    rx_interfaces: tuple = ()
+    #: the last MemReadOp of a "mem" park (phase 2 absorbs into its dest)
+    waiting_read: Optional[MemReadOp] = None
+    #: memory ops of a "mem" park, in submission order
+    mem_ops: tuple = ()
+
+
+def _classify_state(state) -> ParkClass:
+    """Compute the :class:`ParkClass` of one FSM state.
+
+    The idempotence condition: executing the op list a second time with
+    the environment produced by the first execution must yield the same
+    environment and the same memory requests.  Sequential evaluation
+    makes this hold exactly when no evaluated expression reads a
+    register written by a compute op at the *same or a later* position
+    (forward-only dataflow) — a self-increment like ``i = i + 1`` or a
+    read-before-write pair re-executes differently and disqualifies.
+    """
+    has_recv = any(isinstance(op, ReceiveOp) for op in state.ops)
+    has_tx = any(isinstance(op, TransmitOp) for op in state.ops)
+    mem_ops = tuple(
+        op for op in state.ops if isinstance(op, (MemReadOp, MemWriteOp))
+    )
+    if has_tx or (has_recv and mem_ops):
+        # A transmit fires every held cycle; a mixed receive+memory
+        # state would consume messages while blocked.  Never park.
+        return ParkClass(kind=None)
+
+    # Registers a grant writes in phase 2: an expression reading one
+    # would re-evaluate differently after a granted-but-not-advancing
+    # cycle, so such states are never parked.
+    read_dests = {
+        op.dest for op in state.ops if isinstance(op, MemReadOp)
+    }
+
+    # Forward-only dataflow check over every evaluated expression.
+    for index, op in enumerate(state.ops):
+        exprs = []
+        if isinstance(op, ComputeOp):
+            exprs.append(op.expr)
+        elif isinstance(op, (MemReadOp, MemWriteOp)):
+            if op.offset_expr is not None:
+                exprs.append(op.offset_expr)
+            if isinstance(op, MemWriteOp):
+                exprs.append(op.value_expr)
+        if not exprs:
+            continue
+        later_dests = {
+            later.dest
+            for later in state.ops[index:]
+            if isinstance(later, ComputeOp)
+        }
+        reads: set = set()
+        for expr in exprs:
+            _free_names(expr, reads)
+        if reads & (later_dests | read_dests):
+            return ParkClass(kind=None)
+
+    if mem_ops:
+        waiting = None
+        for op in mem_ops:
+            if isinstance(op, MemReadOp):
+                waiting = op
+        return ParkClass(kind="mem", waiting_read=waiting, mem_ops=mem_ops)
+    if has_recv:
+        interfaces = tuple(
+            op.interface for op in state.ops if isinstance(op, ReceiveOp)
+        )
+        return ParkClass(kind="recv", rx_interfaces=interfaces)
+    # Compute-only (or empty) state: parkable when held as a terminal
+    # wait state — phase 2 proved no transition fires, and the frozen
+    # environment keeps every guard false.
+    return ParkClass(kind="terminal")
+
+
 def to_signed(value: int) -> int:
     value &= MASK32
     return value - (1 << 32) if value & (1 << 31) else value
@@ -150,6 +268,8 @@ class ThreadExecutor:
             self.env[name] = to_unsigned(value)
         self.state_name = fsm.initial
         self.stats = ExecutorStats()
+        #: per-state :class:`ParkClass` cache for the fast kernel
+        self._park_classes: dict[str, ParkClass] = {}
         #: architectural state at the last completed round — the
         #: phase-insensitive snapshot golden-trace comparison diffs
         self.last_round_env: Optional[dict[str, int]] = None
@@ -385,3 +505,96 @@ class ThreadExecutor:
                 return
         # A state with no matching transition holds (terminal wait state).
         self.stats.stall_cycles += 1
+
+    # -- fast-kernel park protocol (see repro.sim.wheel) ----------------------------
+
+    def park_class(self) -> ParkClass:
+        """The (cached) park classification of the current state."""
+        park = self._park_classes.get(self.state_name)
+        if park is None:
+            park = _classify_state(self.state)
+            self._park_classes[self.state_name] = park
+        return park
+
+    def build_park_requests(self, park: ParkClass) -> tuple:
+        """Rebuild the memory requests a parked "mem" state re-asserts.
+
+        Evaluated against the (frozen) register environment, so each
+        rebuilt request equals the one the last real :meth:`phase1`
+        submitted — the park idempotence condition guarantees the
+        address/value expressions are stable while the state holds.
+        :class:`MemRequest` is frozen, so the same objects are safely
+        resubmitted every parked cycle.
+        """
+        requests = []
+        for op in park.mem_ops:
+            if isinstance(op, MemReadOp):
+                requests.append(
+                    (
+                        op.bram,
+                        MemRequest(
+                            client=self.fsm.thread,
+                            port=self._port_for(op),
+                            address=self._address_of(op),
+                            write=False,
+                            dep_id=op.dep_id,
+                        ),
+                    )
+                )
+            else:
+                requests.append(
+                    (
+                        op.bram,
+                        MemRequest(
+                            client=self.fsm.thread,
+                            port=self._port_for(op),
+                            address=self._address_of(op),
+                            write=True,
+                            data=self.evaluate(op.value_expr),
+                            dep_id=op.dep_id,
+                        ),
+                    )
+                )
+        return tuple(requests)
+
+    def parked_phase1(
+        self, cycle: int, park: ParkClass, requests: tuple
+    ) -> None:
+        """Equivalent of :meth:`phase1` for a parked state, O(ops) avoided.
+
+        Replays exactly the per-cycle effects a held state has: the
+        statistics tick, the blocked flag, and (for "mem" parks) the
+        re-asserted request lines.  Register work is skipped — the park
+        idempotence condition proved it a no-op on the frozen
+        environment.
+        """
+        self.stats.cycles += 1
+        self.stats.state_visits[self.state_name] = (
+            self.stats.state_visits.get(self.state_name, 0) + 1
+        )
+        if park.kind == "terminal":
+            # phase 2 is skipped for terminal parks; account its stall
+            # here (no transition can fire on the frozen environment).
+            self._blocked = False
+            self.stats.stall_cycles += 1
+            return
+        self._blocked = True
+        if park.kind == "mem":
+            for bram, request in requests:
+                self._controllers[bram].submit(request)
+            # phase 2's blocked path clears this every ungranted cycle.
+            self._waiting_read = park.waiting_read
+
+    def park_idle(self, count: int) -> None:
+        """Account ``count`` skipped cycles spent parked in this state.
+
+        Mirrors the per-cycle increments the reference kernel performs
+        for a held state: every parked shape stalls every cycle (a
+        blocked "mem"/"recv" state stalls in phase 2, a "terminal"
+        state stalls in ``_advance``).
+        """
+        self.stats.cycles += count
+        self.stats.stall_cycles += count
+        self.stats.state_visits[self.state_name] = (
+            self.stats.state_visits.get(self.state_name, 0) + count
+        )

@@ -11,6 +11,17 @@ The kernel is deliberately synchronous and deterministic: given the same
 seeded traffic, two runs produce identical traces — which is what lets the
 benchmarks measure the *controllers'* (non-)determinism rather than the
 simulator's.
+
+**Tick-order contract.** Within each phase, executors tick in sorted
+thread-name order and controllers in sorted controller-name order.  This
+is a stable, documented contract (``tests/sim/test_tick_order.py``), not
+an accident of dict insertion order: every kernel (reference or wheel)
+and every rebuild of the same design must tick components identically,
+or hook/telemetry event streams would not be comparable across runs.
+The simulated *hardware* is insensitive to the order (all phase-1 work
+targets disjoint per-thread state and controller arbitration is a pure
+function of the submitted request set), but observer callbacks fire in
+tick order, so the order is part of the reproducibility surface.
 """
 
 from __future__ import annotations
@@ -55,6 +66,13 @@ class SimulationKernel:
     ):
         self.executors = executors
         self.controllers = controllers
+        #: stable tick order (sorted by name — see the module docstring)
+        self._executor_order = [
+            executors[name] for name in sorted(executors)
+        ]
+        self._controller_order = [
+            (name, controllers[name]) for name in sorted(controllers)
+        ]
         self.cycle = 0
         self._pre_hooks: list[CycleHook] = []
         self._post_hooks: list[CycleHook] = []
@@ -97,14 +115,14 @@ class SimulationKernel:
         for hook in self._pre_hooks:
             hook(self.cycle, self)
 
-        for executor in self.executors.values():
+        for executor in self._executor_order:
             executor.phase1(self.cycle)
 
         results: dict[str, dict[str, MemResult]] = {}
-        for bram_name, controller in self.controllers.items():
+        for bram_name, controller in self._controller_order:
             results[bram_name] = controller.arbitrate(self.cycle)
 
-        for executor in self.executors.values():
+        for executor in self._executor_order:
             executor.phase2(results)
 
         for hook in self._post_hooks:
@@ -126,6 +144,9 @@ class SimulationKernel:
             self.step()
             if until is not None and until(self):
                 break
+        return self._result()
+
+    def _result(self) -> SimulationResult:
         return SimulationResult(
             cycles_run=self.cycle,
             executor_stats={

@@ -1,0 +1,396 @@
+"""Event-wheel fast simulation kernel.
+
+The reference :class:`~repro.sim.kernel.SimulationKernel` ticks every
+component every cycle.  The paper's controllers are *reactive*: an
+arbitrated wrapper (§3.1) only changes state when a request is granted,
+the event-driven organization (§3.2) is modulo-scheduled, and blocked
+FSM states simply hold their request lines.  Most simulated cycles are
+therefore provably idle — and :class:`FastKernel` skips them in O(1)
+while staying **cycle-equivalent** to the reference kernel (same
+consumer values, same statistics, same event cycle numbers; enforced by
+``tests/differential/``).
+
+Two mechanisms, both conservative (anything unprovable falls back to
+cycle-by-cycle execution, which is always correct):
+
+* **parking** — an executor whose FSM state is provably idempotent
+  while held (see :class:`~repro.sim.executor.ParkClass`) stops
+  re-interpreting its micro-ops; a parked cycle is a statistics tick
+  plus re-assertion of the frozen memory requests;
+* **skipping** — when *every* executor is parked, every controller
+  reports quiescence through ``next_wake()``, and every hook bounds its
+  next effect, the kernel jumps straight to the earliest wake scheduled
+  on a hierarchical :class:`TimingWheel`, batch-accounting the skipped
+  cycles (``park_idle`` / ``on_idle_cycles``).
+
+The wake contract (see ``docs/simulation_kernels.md``): a component
+that can change observable state at cycle ``t > now`` without any new
+input must report a wake ``<= t``; a component with no such ``t``
+reports ``None``.  Hooks use ``next_wake(cycle, limit, kernel)``
+(resolved off the hook or its bound instance); any hook without one
+disables skipping entirely.
+
+The run's final cycle is always executed, never skipped, so end-of-run
+snapshot state (blocked ages, pending counts, controller cycle
+registers) is byte-identical to the reference kernel's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.controller import MemResult, MemoryController
+from .executor import ParkClass, ThreadExecutor
+from .kernel import SimulationKernel, SimulationResult
+
+
+class TimingWheel:
+    """Hierarchical timing wheel keyed by absolute cycle.
+
+    ``levels`` wheels of ``slot_count`` slots each; level ``L`` slots
+    span ``slot_count ** L`` cycles, so the wheel covers a horizon of
+    ``slot_count ** levels`` cycles from its base.  Scheduling is O(1)
+    (index arithmetic); events beyond the horizon go to an overflow
+    list and cascade in as the base advances — the classic hashed
+    hierarchical wheel.
+    """
+
+    def __init__(self, slot_count: int = 64, levels: int = 3, start: int = 0):
+        if slot_count < 2 or levels < 1:
+            raise ValueError("wheel needs >= 2 slots and >= 1 level")
+        self.slot_count = slot_count
+        self.levels = levels
+        self._base = start
+        self._slots: list[list[list[tuple[int, object]]]] = [
+            [[] for __ in range(slot_count)] for __ in range(levels)
+        ]
+        self._overflow: list[tuple[int, object]] = []
+        self._count = 0
+
+    @property
+    def horizon(self) -> int:
+        """Cycles covered from the base before events overflow."""
+        return self.slot_count ** self.levels
+
+    def __len__(self) -> int:
+        return self._count
+
+    def level_of(self, cycle: int) -> int:
+        """The wheel level an event at ``cycle`` currently hashes to
+        (``self.levels`` means the overflow list)."""
+        delta = cycle - self._base
+        span = self.slot_count
+        for level in range(self.levels):
+            if delta < span:
+                return level
+            span *= self.slot_count
+        return self.levels
+
+    def schedule(self, cycle: int, token: object = None) -> None:
+        """Insert an event; O(1)."""
+        if cycle < self._base:
+            raise ValueError(
+                f"cannot schedule cycle {cycle} before wheel base "
+                f"{self._base}"
+            )
+        level = self.level_of(cycle)
+        if level >= self.levels:
+            self._overflow.append((cycle, token))
+        else:
+            span = self.slot_count ** level
+            slot = (cycle // span) % self.slot_count
+            self._slots[level][slot].append((cycle, token))
+        self._count += 1
+
+    def earliest(self) -> Optional[int]:
+        """The earliest scheduled cycle, or ``None`` if empty."""
+        best: Optional[int] = None
+        for level in self._slots:
+            for slot in level:
+                for cycle, __ in slot:
+                    if best is None or cycle < best:
+                        best = cycle
+        for cycle, __ in self._overflow:
+            if best is None or cycle < best:
+                best = cycle
+        return best
+
+    def advance(self, to_cycle: int) -> None:
+        """Move the base forward, cascading events into finer levels."""
+        if to_cycle < self._base:
+            raise ValueError("the wheel does not run backwards")
+        pending: list[tuple[int, object]] = []
+        for level in self._slots:
+            for slot in level:
+                pending.extend(slot)
+                slot.clear()
+        pending.extend(self._overflow)
+        self._overflow.clear()
+        self._base = to_cycle
+        self._count = 0
+        for cycle, token in pending:
+            if cycle < to_cycle:
+                raise ValueError(
+                    f"event at cycle {cycle} would be dropped by "
+                    f"advancing to {to_cycle}"
+                )
+            self.schedule(cycle, token)
+
+    def pop_due(self, now: int) -> list[object]:
+        """Remove and return tokens of all events at cycles ``<= now``."""
+        due: list[object] = []
+        for level in self._slots:
+            for slot in level:
+                keep = []
+                for cycle, token in slot:
+                    if cycle <= now:
+                        due.append(token)
+                    else:
+                        keep.append((cycle, token))
+                slot[:] = keep
+        keep = []
+        for cycle, token in self._overflow:
+            if cycle <= now:
+                due.append(token)
+            else:
+                keep.append((cycle, token))
+        self._overflow = keep
+        self._count -= len(due)
+        return due
+
+    def clear(self, base: int = 0) -> None:
+        for level in self._slots:
+            for slot in level:
+                slot.clear()
+        self._overflow.clear()
+        self._base = base
+        self._count = 0
+
+
+@dataclass
+class _Park:
+    """Runtime record of one parked executor."""
+
+    park: ParkClass
+    #: frozen ``(bram, MemRequest)`` pairs a "mem" park re-asserts
+    requests: tuple = ()
+    #: rx interfaces a "recv" park watches for arrivals
+    rx: tuple = ()
+
+
+class FastKernel(SimulationKernel):
+    """Event-wheel kernel: cycle-equivalent, idle stretches skipped.
+
+    :meth:`step` still executes exactly one real cycle (external
+    single-stepping stays exact); the skipping happens inside
+    :meth:`run` between steps, and only when ``until`` is ``None``
+    (an ``until`` predicate may inspect per-cycle state).
+    """
+
+    def __init__(
+        self,
+        executors: dict[str, ThreadExecutor],
+        controllers: dict[str, MemoryController],
+    ):
+        super().__init__(executors, controllers)
+        #: introspection counters (benchmarks and tests read these)
+        self.cycles_executed = 0
+        self.cycles_skipped = 0
+        self.wheel = TimingWheel()
+        self._parked: dict[str, _Park] = {}
+        self._named_order = [
+            (name, executors[name]) for name in sorted(executors)
+        ]
+        self._wakers: Optional[list] = []
+        self._waker_cache_key: Optional[tuple[int, int]] = (0, 0)
+
+    # -- one real cycle -------------------------------------------------------------
+
+    def step(self) -> dict[str, dict[str, MemResult]]:
+        cycle = self.cycle
+        for hook in self._pre_hooks:
+            hook(cycle, self)
+
+        parked = self._parked
+        if parked:
+            # An arrival un-parks a receive wait before phase 1 reads it.
+            for name in [
+                name
+                for name, record in parked.items()
+                if record.park.kind == "recv"
+                and any(rx.backlog > 0 for rx in record.rx)
+            ]:
+                del parked[name]
+
+        for name, executor in self._named_order:
+            record = parked.get(name)
+            if record is not None:
+                executor.parked_phase1(cycle, record.park, record.requests)
+            else:
+                executor.phase1(cycle)
+
+        results: dict[str, dict[str, MemResult]] = {}
+        for bram_name, controller in self._controller_order:
+            results[bram_name] = controller.arbitrate(cycle)
+
+        for name, executor in self._named_order:
+            record = parked.get(name)
+            if record is not None and record.park.kind == "terminal":
+                continue  # provably no transition; stall accounted above
+            before = executor.stats.advances
+            executor.phase2(results)
+            if executor.stats.advances != before:
+                if record is not None:
+                    del parked[name]
+            elif record is None:
+                self._maybe_park(name, executor)
+
+        for hook in self._post_hooks:
+            hook(cycle, self)
+        if self.observer is not None:
+            self.observer.on_cycle(cycle, self)
+        self.cycle = cycle + 1
+        self.cycles_executed += 1
+        return results
+
+    def _maybe_park(self, name: str, executor: ThreadExecutor) -> None:
+        """Classify an executor that just held (no advance) for parking."""
+        park = executor.park_class()
+        kind = park.kind
+        if kind is None:
+            return
+        if kind == "terminal":
+            if executor._blocked:
+                return
+            self._parked[name] = _Park(park=park)
+        elif not executor._blocked:
+            return
+        elif kind == "mem":
+            self._parked[name] = _Park(
+                park=park, requests=executor.build_park_requests(park)
+            )
+        else:  # recv
+            rx = tuple(
+                executor._rx[interface]
+                for interface in park.rx_interfaces
+                if interface in executor._rx
+            )
+            if any(queue.backlog > 0 for queue in rx):
+                # A multi-receive state drains its non-empty queues
+                # every held cycle; only an all-empty wait can park.
+                return
+            self._parked[name] = _Park(park=park, rx=rx)
+
+    # -- the skip decision ----------------------------------------------------------
+
+    def _resolve_wakers(self) -> Optional[list]:
+        """Wake functions for every hook, or ``None`` if any hook lacks
+        one (which disables skipping — a hook of unknown behaviour must
+        run every cycle, e.g. a VCD sampler)."""
+        key = (len(self._pre_hooks), len(self._post_hooks))
+        if key != self._waker_cache_key:
+            wakers: Optional[list] = []
+            for hook in self._pre_hooks + self._post_hooks:
+                fn = getattr(hook, "next_wake", None)
+                if fn is None:
+                    owner = getattr(hook, "__self__", None)
+                    if owner is not None:
+                        fn = getattr(owner, "next_wake", None)
+                if fn is None:
+                    wakers = None
+                    break
+                wakers.append(fn)
+            self._wakers = wakers
+            self._waker_cache_key = key
+        return self._wakers
+
+    def _skip_target(self, last_cycle: int) -> Optional[int]:
+        """The next cycle that must actually execute, or ``None`` if
+        skipping is not currently provable.  ``self.cycle`` is the next
+        unexecuted cycle; wake queries are posed at ``self.cycle - 1``,
+        the cycle all component state currently reflects.  The run's
+        final cycle is never skipped."""
+        if len(self._parked) < len(self.executors):
+            return None
+        for record in self._parked.values():
+            if record.park.kind == "recv" and any(
+                rx.backlog > 0 for rx in record.rx
+            ):
+                return None
+        if self.observer is not None and not hasattr(
+            self.observer, "on_idle_cycles"
+        ):
+            return None
+        wakers = self._resolve_wakers()
+        if wakers is None:
+            return None
+
+        now = self.cycle - 1
+        wheel = self.wheel
+        wheel.clear(base=self.cycle)
+        wheel.schedule(last_cycle)
+        for __, controller in self._controller_order:
+            wake_fn = getattr(controller, "next_wake", None)
+            if wake_fn is None:
+                return None
+            wake = wake_fn(now)
+            if wake is not None:
+                if wake <= now:  # pragma: no cover - contract violation
+                    return None
+                if wake < last_cycle:
+                    wheel.schedule(wake)
+        limit = wheel.earliest()
+        for waker in wakers:
+            wake = waker(now, limit, self)
+            if wake is not None:
+                if wake <= now:  # pragma: no cover - contract violation
+                    return None
+                if wake < limit:
+                    wheel.schedule(wake)
+                    limit = min(limit, wake)
+        target = wheel.earliest()
+        if target is None or target <= self.cycle:
+            return None
+        return target
+
+    def _skip_to(self, target: int) -> None:
+        """Batch-account the provably idle cycles ``self.cycle ..
+        target - 1`` and jump to ``target``."""
+        count = target - self.cycle
+        for name in self._parked:
+            self.executors[name].park_idle(count)
+        for __, controller in self._controller_order:
+            # The skipped arbitrate() calls were no-ops except for cycle
+            # tracking, which stamps later submissions' issue cycles.
+            controller.note_idle_cycles(target - 1)
+        if self.observer is not None:
+            self.observer.on_idle_cycles(self.cycle, count, self)
+        self.cycles_skipped += count
+        self.cycle = target
+
+    # -- driving ---------------------------------------------------------------------
+
+    def run(self, cycles: int, until=None) -> SimulationResult:
+        end = self.cycle + cycles
+        last_cycle = end - 1
+        while self.cycle < end:
+            self.step()
+            if until is not None:
+                # Per-cycle predicates may inspect any state: never skip.
+                if until(self):
+                    break
+                continue
+            if self.cycle >= end:
+                break
+            target = self._skip_target(last_cycle)
+            if target is not None and target > self.cycle:
+                self._skip_to(target)
+        return self._result()
+
+    def reset(self) -> None:
+        super().reset()
+        self._parked.clear()
+        self.cycles_executed = 0
+        self.cycles_skipped = 0
+        self.wheel.clear()

@@ -1,0 +1,95 @@
+"""Shared rig for the reference-vs-wheel differential harness.
+
+The wheel kernel's correctness claim is *cycle equivalence*: for any
+compiled design, traffic schedule, and fault campaign, the fast kernel
+must leave the simulation in exactly the state the reference kernel
+would — same consumer values, same executor statistics, same controller
+latency samples, same memory images, same telemetry summaries.  These
+helpers build the two simulations identically and extract the full
+comparison surface.
+"""
+
+from repro.core import ControllerStats, Organization
+from repro.flow import build_simulation, compile_design
+from repro.net import BernoulliTraffic
+
+KERNELS = ("reference", "wheel")
+
+
+def build_pair(
+    source,
+    functions=None,
+    *,
+    organization=Organization.ARBITRATED,
+    num_banks=0,
+    dep_home="address",
+    **compile_kwargs,
+):
+    """Compile ``source`` twice and return ``(reference_sim, wheel_sim)``."""
+    sims = []
+    for kernel in KERNELS:
+        design = compile_design(
+            source,
+            organization=organization,
+            num_banks=num_banks,
+            dep_home=dep_home,
+            **compile_kwargs,
+        )
+        sims.append(build_simulation(design, functions=functions, kernel=kernel))
+    return tuple(sims)
+
+
+def attach_traffic(sim, rate, seed):
+    """Seeded Bernoulli traffic on every ingress, one stream per rx."""
+    for index, rx in enumerate(sim.rx.values()):
+        generator = BernoulliTraffic(rate=rate, seed=seed + index)
+        sim.kernel.add_pre_cycle_hook(generator.attach(rx))
+
+
+def architectural_state(sim):
+    """Everything the two kernels must agree on after a run.
+
+    Each entry is independently comparable so a mismatch pinpoints the
+    diverging layer (interfaces, executors, controllers, or memory).
+    """
+    return {
+        "tx": {name: tx.messages for name, tx in sim.tx.items()},
+        "executor_stats": {
+            name: (
+                executor.stats.cycles,
+                executor.stats.stall_cycles,
+                executor.stats.advances,
+                executor.stats.rounds_completed,
+                dict(executor.stats.state_visits),
+            )
+            for name, executor in sim.executors.items()
+        },
+        "envs": {
+            name: dict(executor.env)
+            for name, executor in sim.executors.items()
+        },
+        "latency_samples": {
+            name: controller.latency_samples
+            for name, controller in sim.controllers.items()
+        },
+        "controller_stats": {
+            name: ControllerStats.from_waits(controller.waits_for())
+            for name, controller in sim.controllers.items()
+        },
+        "memory": {
+            name: controller.bram.snapshot()
+            for name, controller in sim.controllers.items()
+        },
+        "blocked": {
+            name: controller.blocked
+            for name, controller in sim.controllers.items()
+        },
+    }
+
+
+def assert_equivalent(reference_sim, wheel_sim):
+    """Assert the full architectural comparison surface matches."""
+    reference = architectural_state(reference_sim)
+    wheel = architectural_state(wheel_sim)
+    for key in reference:
+        assert wheel[key] == reference[key], f"kernels diverged on {key!r}"

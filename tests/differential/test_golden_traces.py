@@ -1,0 +1,92 @@
+"""Golden-trace regression: the Figure-1 example's telemetry, frozen.
+
+``fixtures/figure1_{trace,summary}.json`` were generated once from the
+reference kernel (300 cycles, ``--trace-level deps``) and committed.
+Both kernels must reproduce them byte-for-byte: the Chrome trace pins
+every dependency-lifecycle event to its exact cycle, so any drift in
+the simulator, the controllers, or the exporters' serialization shows
+up as a byte diff.
+
+To regenerate after an *intentional* telemetry change::
+
+    PYTHONPATH=src python tests/differential/test_golden_traces.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.obs.exporters import dumps_chrome_trace, dumps_summary
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CYCLES = 300
+
+FIGURE1_SOURCE = """
+thread t1 () {
+  int x1, xtmp, x2;
+  #consumer{mt1,[t2,y1],[t3,z1]}
+  x1 = f(xtmp, x2);
+}
+
+thread t2 () {
+  int y1, y2;
+  #producer{mt1,[t1,x1]}
+  y1 = g(x1, y2);
+}
+
+thread t3 () {
+  int z1, z2;
+  #producer{mt1,[t1,x1]}
+  z1 = h(x1, z2);
+}
+"""
+
+
+def traced_run(kernel):
+    design = compile_design(
+        FIGURE1_SOURCE, organization=Organization.ARBITRATED
+    )
+    sim = build_simulation(design, kernel=kernel)
+    telemetry = sim.attach_telemetry(trace_level="deps")
+    sim.run(CYCLES)
+    return sim, telemetry
+
+
+@pytest.mark.parametrize("kernel", ["reference", "wheel"])
+def test_chrome_trace_matches_golden(kernel):
+    __, telemetry = traced_run(kernel)
+    golden = (FIXTURES / "figure1_trace.json").read_text()
+    assert dumps_chrome_trace(telemetry) == golden
+
+
+@pytest.mark.parametrize("kernel", ["reference", "wheel"])
+def test_summary_matches_golden(kernel):
+    __, telemetry = traced_run(kernel)
+    golden = (FIXTURES / "figure1_summary.json").read_text()
+    assert dumps_summary(telemetry) == golden
+
+
+def test_figure1_is_never_skippable():
+    """Figure 1 runs *hot*: its three threads settle into a 3-cycle
+    produce-consume loop where some guarded request is always grantable,
+    so the wrapper never reports quiescence.  The wheel kernel must
+    recognize that and execute every cycle — conservatism is what makes
+    the byte-identical traces above possible."""
+    sim, __ = traced_run("wheel")
+    assert sim.kernel.cycles_skipped == 0
+    assert sim.kernel.cycles_executed == CYCLES
+
+
+def _regenerate():
+    __, telemetry = traced_run("reference")
+    (FIXTURES / "figure1_trace.json").write_text(
+        dumps_chrome_trace(telemetry)
+    )
+    (FIXTURES / "figure1_summary.json").write_text(dumps_summary(telemetry))
+    print(f"regenerated fixtures in {FIXTURES}")
+
+
+if __name__ == "__main__":
+    _regenerate()

@@ -1,0 +1,129 @@
+"""Watchdog detection under the event-wheel kernel.
+
+The watchdog derives its thresholds from *cycle numbers*, not from how
+many times its hook happened to run — so both detectors must fire at
+exactly the same cycle on the reference and wheel kernels, even when
+the wheel skipped straight over most of the blocked stretch.  The rig:
+the Figure-1 program with its producer silenced by a fault, leaving the
+consumers' guarded reads blocked forever.
+"""
+
+import pytest
+
+from repro.core import Organization, WatchdogTimeout
+from repro.faults import ProducerStall
+from repro.flow import build_simulation, compile_design
+
+FIGURE1 = """
+thread t1 () {
+  int x1, xtmp, x2;
+  #consumer{mt1,[t2,y1],[t3,z1]}
+  x1 = f(xtmp, x2);
+}
+thread t2 () {
+  int y1, y2;
+  #producer{mt1,[t1,x1]}
+  y1 = g(x1, y2);
+}
+thread t3 () {
+  int z1, z2;
+  #producer{mt1,[t1,x1]}
+  z1 = h(x1, z2);
+}
+"""
+
+CYCLES = 400
+
+
+def stalled_run(kernel, **watchdog_kwargs):
+    """Figure 1 with producer t1 dead from cycle 0: t2 and t3 block on
+    the mt1 guard forever."""
+    design = compile_design(FIGURE1, organization=Organization.ARBITRATED)
+    sim = build_simulation(design, kernel=kernel)
+    sim.inject_faults([ProducerStall(at_cycle=0, client="t1", duration=None)])
+    watchdog = sim.attach_watchdog(**watchdog_kwargs)
+    sim.run(CYCLES)
+    return sim, watchdog
+
+
+class TestBlockedReadTimeout:
+    def test_fires_at_identical_cycles(self):
+        events = {}
+        for kernel in ("reference", "wheel"):
+            __, watchdog = stalled_run(
+                kernel,
+                read_timeout=25,
+                deadlock_window=10_000,
+                policy="warn-continue",
+            )
+            assert watchdog.tripped
+            assert any(
+                e.kind == "blocked-read-timeout" for e in watchdog.events
+            )
+            events[kernel] = watchdog.events
+        assert events["wheel"] == events["reference"]
+
+    def test_wheel_skips_the_blocked_stretch(self):
+        sim, watchdog = stalled_run(
+            "wheel",
+            read_timeout=25,
+            deadlock_window=10_000,
+            policy="warn-continue",
+        )
+        assert watchdog.tripped
+        assert sim.kernel.cycles_skipped > CYCLES // 2
+        assert (
+            sim.kernel.cycles_executed + sim.kernel.cycles_skipped == CYCLES
+        )
+
+    def test_abort_raises_at_identical_cycles(self):
+        outcomes = {}
+        for kernel in ("reference", "wheel"):
+            design = compile_design(
+                FIGURE1, organization=Organization.ARBITRATED
+            )
+            sim = build_simulation(design, kernel=kernel)
+            sim.inject_faults(
+                [ProducerStall(at_cycle=0, client="t1", duration=None)]
+            )
+            sim.attach_watchdog(
+                read_timeout=25, deadlock_window=10_000, policy="abort"
+            )
+            with pytest.raises(WatchdogTimeout) as exc_info:
+                sim.run(CYCLES)
+            outcomes[kernel] = (
+                sim.kernel.cycle,
+                exc_info.value.client,
+                exc_info.value.blocked_cycles,
+            )
+        assert outcomes["wheel"] == outcomes["reference"]
+
+
+class TestSystemDeadlock:
+    def test_fires_at_identical_cycles(self):
+        events = {}
+        for kernel in ("reference", "wheel"):
+            __, watchdog = stalled_run(
+                kernel,
+                read_timeout=10_000,
+                deadlock_window=40,
+                policy="warn-continue",
+            )
+            assert any(e.kind == "system-deadlock" for e in watchdog.events)
+            events[kernel] = watchdog.events
+        assert events["wheel"] == events["reference"]
+
+    def test_break_dependency_recovers_identically(self):
+        """break-dependency force-drains the guard and resets the
+        detector — repeated firings must land on the same cycles too."""
+        events = {}
+        for kernel in ("reference", "wheel"):
+            __, watchdog = stalled_run(
+                kernel,
+                read_timeout=30,
+                deadlock_window=10_000,
+                policy="break-dependency",
+            )
+            assert watchdog.degradations
+            events[kernel] = watchdog.events
+        assert events["wheel"] == events["reference"]

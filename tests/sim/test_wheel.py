@@ -1,0 +1,168 @@
+"""Unit tests for the timing wheel and the fast kernel's skip machinery.
+
+The cycle-equivalence of :class:`FastKernel` against the reference
+kernel is covered end-to-end by ``tests/differential/``; this module
+tests the wheel data structure itself and the kernel-level mechanics
+(parking counters, final-cycle rule, ``until`` handling, reset).
+"""
+
+import pytest
+
+from repro.core import ArbitratedController
+from repro.memory import BlockRam, DependencyEntry, DependencyList
+from repro.sim import FastKernel, TimingWheel
+
+
+class TestTimingWheel:
+    def test_validates_geometry(self):
+        with pytest.raises(ValueError):
+            TimingWheel(slot_count=1)
+        with pytest.raises(ValueError):
+            TimingWheel(levels=0)
+
+    def test_horizon(self):
+        assert TimingWheel(slot_count=64, levels=3).horizon == 64**3
+        assert TimingWheel(slot_count=4, levels=2).horizon == 16
+
+    def test_schedule_and_earliest(self):
+        wheel = TimingWheel(slot_count=8, levels=2)
+        assert wheel.earliest() is None
+        wheel.schedule(12, "a")
+        wheel.schedule(5, "b")
+        wheel.schedule(40, "c")
+        assert len(wheel) == 3
+        assert wheel.earliest() == 5
+
+    def test_level_of_hashes_by_distance(self):
+        wheel = TimingWheel(slot_count=8, levels=2)
+        assert wheel.level_of(3) == 0  # within the first 8 cycles
+        assert wheel.level_of(20) == 1  # within 8**2
+        assert wheel.level_of(100) == 2  # beyond the horizon: overflow
+
+    def test_overflow_beyond_horizon(self):
+        wheel = TimingWheel(slot_count=4, levels=2)
+        wheel.schedule(1000, "far")
+        assert len(wheel) == 1
+        assert wheel.earliest() == 1000
+
+    def test_cannot_schedule_in_the_past(self):
+        wheel = TimingWheel(slot_count=8, levels=2, start=10)
+        with pytest.raises(ValueError):
+            wheel.schedule(9)
+
+    def test_advance_cascades_to_finer_levels(self):
+        wheel = TimingWheel(slot_count=4, levels=3)
+        wheel.schedule(60, "x")  # level 2 from base 0
+        assert wheel.level_of(60) == 2
+        wheel.advance(58)
+        # Now only 2 cycles away: must have cascaded to level 0.
+        assert wheel.level_of(60) == 0
+        assert wheel.earliest() == 60
+        assert len(wheel) == 1
+
+    def test_advance_refuses_to_drop_events(self):
+        wheel = TimingWheel(slot_count=8, levels=2)
+        wheel.schedule(5, "due")
+        with pytest.raises(ValueError):
+            wheel.advance(6)
+        with pytest.raises(ValueError):
+            wheel.advance(-1)  # backwards
+
+    def test_pop_due(self):
+        wheel = TimingWheel(slot_count=8, levels=2)
+        wheel.schedule(3, "a")
+        wheel.schedule(7, "b")
+        wheel.schedule(30, "c")
+        assert sorted(wheel.pop_due(7)) == ["a", "b"]
+        assert len(wheel) == 1
+        assert wheel.pop_due(7) == []
+        assert wheel.pop_due(30) == ["c"]
+        assert len(wheel) == 0
+
+    def test_clear_rebases(self):
+        wheel = TimingWheel(slot_count=8, levels=2)
+        wheel.schedule(3)
+        wheel.clear(base=100)
+        assert len(wheel) == 0
+        assert wheel.earliest() is None
+        with pytest.raises(ValueError):
+            wheel.schedule(99)
+        wheel.schedule(100)
+        assert wheel.earliest() == 100
+
+
+def make_idle_kernel():
+    """A kernel with no executors and one request-free controller — the
+    maximally quiescent system."""
+    deplist = DependencyList(
+        bram="bram0",
+        entries=[DependencyEntry("d0", 1, 0, "prod", ("cons",))],
+    )
+    controller = ArbitratedController(
+        BlockRam("bram0"), deplist, ["cons"], ["prod"]
+    )
+    return FastKernel(executors={}, controllers={"bram0": controller})
+
+
+class TestFastKernelMechanics:
+    def test_idle_run_skips_to_the_final_cycle(self):
+        kernel = make_idle_kernel()
+        result = kernel.run(100)
+        assert result.cycles_run == 100
+        assert kernel.cycle == 100
+        # Executes the first cycle, skips to the last, executes it.
+        assert kernel.cycles_executed == 2
+        assert kernel.cycles_skipped == 98
+
+    def test_accounting_always_totals_the_run(self):
+        kernel = make_idle_kernel()
+        kernel.run(57)
+        assert kernel.cycles_executed + kernel.cycles_skipped == 57
+
+    def test_until_predicate_disables_skipping(self):
+        kernel = make_idle_kernel()
+        kernel.run(50, until=lambda k: False)
+        assert kernel.cycles_executed == 50
+        assert kernel.cycles_skipped == 0
+
+    def test_unknown_hook_disables_skipping(self):
+        kernel = make_idle_kernel()
+        kernel.add_post_cycle_hook(lambda c, k: None)  # no next_wake
+        kernel.run(50)
+        assert kernel.cycles_executed == 50
+        assert kernel.cycles_skipped == 0
+
+    def test_hook_with_wake_keeps_skipping(self):
+        fired = []
+
+        def hook(cycle, kernel):
+            if cycle == 20:
+                fired.append(cycle)
+
+        hook.next_wake = lambda cycle, limit, kernel: 20 if cycle < 20 else None
+        kernel = make_idle_kernel()
+        kernel.add_pre_cycle_hook(hook)
+        kernel.run(100)
+        assert fired == [20]
+        assert kernel.cycles_skipped > 0
+        # Cycle 20 was executed, not skipped over.
+        assert kernel.cycles_executed >= 3
+
+    def test_reset_clears_counters_and_parks(self):
+        kernel = make_idle_kernel()
+        kernel.run(30)
+        kernel.reset()
+        assert kernel.cycle == 0
+        assert kernel.cycles_executed == 0
+        assert kernel.cycles_skipped == 0
+        assert kernel._parked == {}
+        kernel.run(30)
+        assert kernel.cycles_executed + kernel.cycles_skipped == 30
+
+    def test_single_stepping_never_skips(self):
+        kernel = make_idle_kernel()
+        for __ in range(10):
+            kernel.step()
+        assert kernel.cycle == 10
+        assert kernel.cycles_executed == 10
+        assert kernel.cycles_skipped == 0
