@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Harness benchmark: campaign-engine parallel speedup and chaos overhead.
+
+Not a paper experiment — this group tracks the fault-tolerant campaign
+engine (:mod:`repro.campaign`) itself: wall-clock speedup of a chaos
+campaign fanned across ``os.cpu_count()`` crash-isolated workers versus
+the serial path, and the overlap the engine achieves on a blocking
+workload even on a single core.  Both runs inject a mid-campaign worker
+crash (retried and recovered by the engine), so the measured numbers are
+for the *robust* path, not a best-case one.  Results land in the
+``campaign`` section of ``BENCH_sim.json`` — the machine-readable
+artifact CI uploads.
+
+Acceptance: with ``N = min(cpu_count, runs)`` workers the chaos campaign
+must finish in at most ``1 / (0.6 * N)`` of the serial wall time (i.e.
+speedup >= 0.6*N), while producing a byte-identical merged report.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import EngineConfig, RunSpec, run_matrix
+from repro.campaign.tasks import busy_task, sleep_task
+from repro.obs.exporters import write_bench_json
+
+#: Runs in the chaos campaign; the crash is injected at this run index.
+RUNS = 8
+CHAOS_INDEX = 3
+
+#: CPU-burn iterations per run — big enough that fork/IPC overhead is
+#: amortized, small enough that the serial baseline stays cheap.
+ITERATIONS = 600_000
+
+#: Required fraction of ideal linear speedup at N workers.
+SPEEDUP_FRACTION = 0.6
+
+#: Blocking-workload overlap probe: runs x seconds each, 2 workers.
+SLEEP_RUNS = 6
+SLEEP_SECONDS = 0.15
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def _chaos_specs() -> list:
+    return [
+        RunSpec(index=index, payload={"iterations": ITERATIONS})
+        for index in range(RUNS)
+    ]
+
+
+def _run_chaos(workers: int):
+    """One chaos campaign: CPU-bound runs with an injected worker crash."""
+    config = EngineConfig(
+        workers=workers,
+        retries=2,
+        backoff_base=0.0,
+        chaos=((CHAOS_INDEX, "crash"),),
+    )
+    start = time.perf_counter()
+    report = run_matrix(busy_task, _chaos_specs(), config)
+    return time.perf_counter() - start, report
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_parallel_speedup(benchmark):
+    """A chaos campaign at ``cpu_count`` workers must reach at least
+    60% of ideal linear speedup over the serial path, with an identical
+    merged report.  Updates the ``campaign`` section of
+    ``BENCH_sim.json``.
+    """
+    cpu_count = os.cpu_count() or 1
+    workers = min(cpu_count, RUNS)
+    # Chaos fires only inside worker processes (an in-parent os._exit
+    # would kill the campaign itself), so the parallel leg always uses
+    # at least two workers; the speedup *target* stays CPU-based.
+    engine_workers = max(2, workers)
+
+    serial_times, parallel_times = [], []
+
+    def parallel():
+        elapsed, report = _run_chaos(engine_workers)
+        parallel_times.append(elapsed)
+        return report
+
+    parallel_report = benchmark.pedantic(parallel, rounds=1, warmup_rounds=0)
+    serial_elapsed, serial_report = _run_chaos(1)
+    serial_times.append(serial_elapsed)
+    for __ in range(2):
+        serial_times.append(_run_chaos(1)[0])
+        parallel()
+
+    serial_s = min(serial_times)
+    parallel_s = min(parallel_times)
+    speedup = serial_s / parallel_s
+    target = SPEEDUP_FRACTION * workers
+
+    # The injected crash was absorbed and retried, every run finished
+    # ok, and the merged outcomes are identical however the work was
+    # fanned (attempt counts differ by design: the crashed run took 2).
+    for report in (serial_report, parallel_report):
+        assert report.completed == RUNS
+        assert all(result.ok for result in report.results)
+    assert parallel_report.crashed_attempts >= 1
+    assert parallel_report.retried >= 1
+    merged = lambda report: [  # noqa: E731
+        (r.index, r.outcome, r.value, r.error) for r in report.results
+    ]
+    assert merged(serial_report) == merged(parallel_report)
+
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["workers"] = engine_workers
+    assert speedup >= target, (
+        f"campaign speedup {speedup:.2f}x at {workers} workers below the "
+        f"{target:.2f}x target (0.6 * {workers})"
+    )
+
+    # Overlap probe: on a blocking workload the engine overlaps runs
+    # even on a single core (workers wait concurrently, not in line).
+    sleep_specs = [
+        RunSpec(index=index, payload={"seconds": SLEEP_SECONDS})
+        for index in range(SLEEP_RUNS)
+    ]
+    start = time.perf_counter()
+    run_matrix(sleep_task, sleep_specs, EngineConfig(workers=1))
+    sleep_serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_matrix(sleep_task, sleep_specs, EngineConfig(workers=2))
+    sleep_parallel_s = time.perf_counter() - start
+    overlap = sleep_serial_s / sleep_parallel_s
+
+    try:
+        payload = json.loads(BENCH_JSON_PATH.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    payload["schema"] = "repro.bench.sim/2"
+    payload["campaign"] = {
+        "workload": (
+            f"chaos campaign: {RUNS} cpu-bound runs "
+            f"({ITERATIONS} iterations each), worker crash injected at "
+            f"run {CHAOS_INDEX} and retried"
+        ),
+        "cpu_count": cpu_count,
+        "workers": engine_workers,
+        "runs": RUNS,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 2),
+        "speedup_target": round(target, 2),
+        "sleep_overlap_speedup_2workers": round(overlap, 2),
+    }
+    write_bench_json(str(BENCH_JSON_PATH), payload)
+
+
+def main() -> None:
+    cpu_count = os.cpu_count() or 1
+    workers = max(2, min(cpu_count, RUNS))
+    serial_s, serial_report = _run_chaos(1)
+    parallel_s, parallel_report = _run_chaos(workers)
+    print(
+        f"chaos campaign ({RUNS} runs, crash at #{CHAOS_INDEX}): "
+        f"serial {serial_s:.3f}s, {workers} workers {parallel_s:.3f}s, "
+        f"speedup {serial_s / parallel_s:.2f}x"
+    )
+    print(
+        f"retried={parallel_report.retried} "
+        f"crashed_attempts={parallel_report.crashed_attempts} "
+        f"completed={parallel_report.completed}/{RUNS}"
+    )
+
+
+if __name__ == "__main__":
+    main()

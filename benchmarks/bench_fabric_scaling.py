@@ -15,10 +15,16 @@ The workload is fully deterministic (the threads are self-driven and the
 so the emitted table is identical run to run — asserted below by running
 the whole study twice.
 
+The sweep rides the fault-tolerant campaign engine
+(:mod:`repro.campaign`): every (organization, banks) point is one
+independent run, so ``--workers N`` fans the matrix across
+crash-isolated processes while the merged table stays byte-identical to
+the serial sweep (results are keyed and sorted by run index).
+
 Run standalone to emit the CSV the CI bench-smoke job uploads:
 
     PYTHONPATH=src python benchmarks/bench_fabric_scaling.py \
-        --banks 1 2 4 --csv fabric_scaling.csv
+        --banks 1 2 4 --csv fabric_scaling.csv --workers 2
 """
 
 import argparse
@@ -26,6 +32,7 @@ import csv
 
 import pytest
 
+from repro.campaign import EngineConfig, RunSpec, run_matrix
 from repro.core import Organization
 from repro.flow import build_simulation, compile_design
 from repro.net import multi_pair_source
@@ -83,12 +90,47 @@ def run_point(organization: Organization, banks: int, cycles: int) -> dict:
     }
 
 
-def run_scaling(banks=BANKS, cycles=CYCLES) -> list[dict]:
-    return [
-        run_point(organization, bank_count, cycles)
-        for organization in (Organization.ARBITRATED, Organization.EVENT_DRIVEN)
-        for bank_count in banks
+def scaling_point_task(payload: dict) -> dict:
+    """One sweep point as a campaign-engine task (worker-process safe)."""
+    return run_point(
+        Organization(payload["organization"]),
+        payload["banks"],
+        payload["cycles"],
+    )
+
+
+def run_scaling(banks=BANKS, cycles=CYCLES, workers: int = 1) -> list[dict]:
+    """Sweep the (organization × banks) matrix through the campaign
+    engine; ``workers=1`` is the serial path, and any worker count
+    merges to the identical table."""
+    specs = [
+        RunSpec(
+            index=index,
+            payload={
+                "organization": organization.value,
+                "banks": bank_count,
+                "cycles": cycles,
+            },
+        )
+        for index, (organization, bank_count) in enumerate(
+            (organization, bank_count)
+            for organization in (
+                Organization.ARBITRATED,
+                Organization.EVENT_DRIVEN,
+            )
+            for bank_count in banks
+        )
     ]
+    report = run_matrix(
+        scaling_point_task, specs, EngineConfig(workers=workers)
+    )
+    failed = [r for r in report.results if not r.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} sweep points failed: "
+            + "; ".join(f"#{r.index}: {r.error}" for r in failed)
+        )
+    return [result.value for result in report.results]
 
 
 def write_csv(rows: list[dict], path: str) -> None:
@@ -119,6 +161,9 @@ def test_fabric_scaling(benchmark):
 
     # Fixed workload => the whole table is reproducible.
     assert rows == run_scaling()
+    # ...and the campaign-engine merge is deterministic: a parallel
+    # sweep produces the byte-identical table.
+    assert rows == run_scaling(workers=2)
 
     by_key = {(r["organization"], r["banks"]): r for r in rows}
     for organization in ("arbitrated", "event_driven"):
@@ -140,8 +185,16 @@ def main() -> None:
     parser.add_argument("--banks", type=int, nargs="+", default=list(BANKS))
     parser.add_argument("--cycles", type=int, default=CYCLES)
     parser.add_argument("--csv", default="fabric_scaling.csv")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan sweep points across crash-isolated worker processes",
+    )
     arguments = parser.parse_args()
-    rows = run_scaling(tuple(arguments.banks), arguments.cycles)
+    rows = run_scaling(
+        tuple(arguments.banks), arguments.cycles, workers=arguments.workers
+    )
     print(render(rows, arguments.cycles))
     write_csv(rows, arguments.csv)
     print(f"wrote {arguments.csv}")

@@ -12,9 +12,17 @@ parameters".  This example:
 3. checks which Virtex-II Pro family member each configuration fits with
    the full 5430-slice forwarding application around it.
 
-Run:  python examples/design_space_exploration.py
+The sweep and the device-fit matrix both ride the fault-tolerant
+campaign engine (:mod:`repro.campaign`): each point is one independent
+run, so ``--workers N`` fans the exploration across crash-isolated
+processes while the merged tables stay byte-identical to a serial run.
+
+Run:  python examples/design_space_exploration.py [--workers N]
 """
 
+import argparse
+
+from repro.campaign import EngineConfig, RunSpec, run_matrix
 from repro.core import DesignConstraints, Organization, recommend
 from repro.flow import compile_design
 from repro.fpga import VIRTEX2PRO_FAMILY, estimate_area, estimate_timing
@@ -41,25 +49,53 @@ def advisor_demo() -> None:
         print(recommendation.explain())
 
 
-def deplist_sweep() -> None:
+def deplist_point_task(payload: dict) -> list:
+    """One dependency-list sweep point (campaign-engine task)."""
+    entries = payload["entries"]
+    module = generate_arbitrated_wrapper(
+        WrapperParams(consumers=payload["consumers"], deplist_entries=entries)
+    )
+    area = estimate_area(module)
+    timing = estimate_timing(module)
+    return [
+        entries, area.luts, area.ffs, area.slices, f"{timing.fmax_mhz:.0f}"
+    ]
+
+
+def deplist_sweep(workers: int = 1) -> None:
     print("\n=== dependency-list capacity sweep (arbitrated, 4 consumers) ===")
+    specs = [
+        RunSpec(index=index, payload={"entries": entries, "consumers": 4})
+        for index, entries in enumerate((2, 4, 8, 16, 32))
+    ]
+    report = run_matrix(
+        deplist_point_task, specs, EngineConfig(workers=workers)
+    )
     table = Table(
         "area/timing vs dependency-list entries",
         ["entries", "LUT", "FF", "slices", "fmax (MHz)"],
     )
-    for entries in (2, 4, 8, 16, 32):
-        module = generate_arbitrated_wrapper(
-            WrapperParams(consumers=4, deplist_entries=entries)
-        )
-        area = estimate_area(module)
-        timing = estimate_timing(module)
-        table.add_row(
-            entries, area.luts, area.ffs, area.slices, f"{timing.fmax_mhz:.0f}"
-        )
+    for result in report.results:
+        if not result.ok:
+            raise RuntimeError(f"sweep point #{result.index}: {result.error}")
+        table.add_row(*result.value)
     print(table.render())
 
 
-def device_fit() -> None:
+def device_fit_task(payload: dict) -> list:
+    """Fit check for one Virtex-II Pro family member (engine task)."""
+    device = VIRTEX2PRO_FAMILY[payload["device"]]
+    total = payload["total_slices"]
+    fits = device.fits(total, brams=payload["bram_count"])
+    return [
+        payload["device"],
+        device.slices,
+        "yes" if fits else "no",
+        f"{100 * total / device.slices:.0f}%",
+    ]
+
+
+def device_fit(workers: int = 1) -> None:
     print("\n=== device fit for the full application ===")
     design = compile_design(
         forwarding_source(8, with_io=False),
@@ -67,28 +103,44 @@ def device_fit() -> None:
     )
     wrapper_slices = design.area_report("bram0").slices
     total = APP_TOTAL_SLICES + wrapper_slices
+    specs = [
+        RunSpec(
+            index=index,
+            payload={
+                "device": name,
+                "total_slices": total,
+                "bram_count": design.memory_map.bram_count(),
+            },
+        )
+        for index, name in enumerate(
+            sorted(VIRTEX2PRO_FAMILY, key=lambda n: VIRTEX2PRO_FAMILY[n].slices)
+        )
+    ]
+    report = run_matrix(device_fit_task, specs, EngineConfig(workers=workers))
     table = Table(
         f"application ({APP_TOTAL_SLICES} slices) + wrapper "
         f"({wrapper_slices} slices) = {total} slices",
         ["device", "slices", "fits", "utilization"],
     )
-    for name, device in sorted(
-        VIRTEX2PRO_FAMILY.items(), key=lambda kv: kv[1].slices
-    ):
-        fits = device.fits(total, brams=design.memory_map.bram_count())
-        table.add_row(
-            name,
-            device.slices,
-            "yes" if fits else "no",
-            f"{100 * total / device.slices:.0f}%",
-        )
+    for result in report.results:
+        if not result.ok:
+            raise RuntimeError(f"fit check #{result.index}: {result.error}")
+        table.add_row(*result.value)
     print(table.render())
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan exploration points across crash-isolated worker processes",
+    )
+    arguments = parser.parse_args()
     advisor_demo()
-    deplist_sweep()
-    device_fit()
+    deplist_sweep(workers=arguments.workers)
+    device_fit(workers=arguments.workers)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ import argparse
 import sys
 
 from .core.advisor import Organization
+from .core.errors import SimulationTimeout
 from .flow import build_simulation, compile_design
 from .hic.errors import HicError
 from .sim import ConsumerLatencyProbe, VcdWriter, determinism_report
@@ -164,6 +165,16 @@ def _parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--max-wall-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for --simulate: a livelocked run raises a "
+            "structured simulation-timeout error instead of hanging"
+        ),
+    )
+    parser.add_argument(
         "--no-deadlock-check",
         action="store_true",
         help="skip the static deadlock check",
@@ -297,7 +308,13 @@ def main(argv: list[str] | None = None) -> int:
                     lambda ex=executor, st=states: st.index(ex.state_name),
                 )
             sim.kernel.add_post_cycle_hook(vcd.hook)
-        result = sim.run(args.simulate)
+        try:
+            result = sim.run(
+                args.simulate, max_wall_seconds=args.max_wall_seconds
+            )
+        except SimulationTimeout as error:
+            print(f"error: {error.describe()}", file=sys.stderr)
+            return 1
         print(result.describe())
         if hasattr(sim.kernel, "cycles_skipped"):
             print(

@@ -1,0 +1,53 @@
+"""Fault-tolerant parallel campaign engine (see ``docs/campaign.md``).
+
+Fault campaigns, fabric-scaling sweeps, and design-space exploration
+all evaluate a matrix of independent (seed × config) runs.  This
+package fans such a matrix across isolated worker processes and
+survives what deliberately-pathological workloads do to a harness:
+worker crashes become ``worker-crashed`` results, hangs are killed on a
+wall-clock timeout, transient deaths are retried with capped
+exponential backoff, completed results checkpoint into an append-only
+JSONL journal for resume, and the merged result list is byte-identical
+to a serial run regardless of worker count, scheduling, or resume
+boundaries.
+
+* :mod:`~repro.campaign.engine` — the scheduler/isolator/merger;
+* :mod:`~repro.campaign.journal` — the JSONL checkpoint store;
+* :mod:`~repro.campaign.worker` — worker entry point and chaos hooks;
+* :mod:`~repro.campaign.tasks` — importable demo tasks.
+"""
+
+from .engine import (
+    OUTCOME_OK,
+    OUTCOME_TASK_ERROR,
+    OUTCOME_WORKER_CRASHED,
+    OUTCOME_WORKER_TIMEOUT,
+    OUTCOMES,
+    CampaignEngine,
+    EngineConfig,
+    EngineReport,
+    RunResult,
+    RunSpec,
+    run_matrix,
+)
+from .journal import JOURNAL_SCHEMA, JournalError, JournalWriter, read_journal
+from .worker import CHAOS_KINDS
+
+__all__ = [
+    "OUTCOME_OK",
+    "OUTCOME_TASK_ERROR",
+    "OUTCOME_WORKER_CRASHED",
+    "OUTCOME_WORKER_TIMEOUT",
+    "OUTCOMES",
+    "CampaignEngine",
+    "EngineConfig",
+    "EngineReport",
+    "RunResult",
+    "RunSpec",
+    "run_matrix",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "JournalWriter",
+    "read_journal",
+    "CHAOS_KINDS",
+]

@@ -1,0 +1,139 @@
+"""Append-only JSONL result journal: the engine's checkpoint/resume store.
+
+The journal is the crash-safety boundary of a campaign: every finalized
+run result is appended (and flushed) the moment it exists, so a killed
+orchestrator — power loss, OOM, ``kill -9``, Ctrl-C — loses at most the
+run that was in flight, never completed work.  ``--resume`` replays the
+file and skips every finished run.
+
+Format: line 1 is a header record binding the journal to one campaign
+(schema tag, a caller-supplied *fingerprint* of the campaign
+configuration, and the expected run count); every further line is one
+:class:`~repro.campaign.engine.RunResult` as JSON.  The reader is
+tolerant of a torn final line (the signature of dying mid-append) and
+lets later records for the same run index win, so re-running with the
+same journal path after a partial campaign is always safe.
+
+Resuming against a journal whose fingerprint does not match the campaign
+raises :class:`JournalError` — silently merging results from a
+*different* matrix is exactly the kind of corruption a fault-tolerance
+layer must refuse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, TextIO
+
+JOURNAL_SCHEMA = "repro.campaign.journal/1"
+
+
+class JournalError(ValueError):
+    """The journal file does not belong to this campaign (or is not a
+    journal at all)."""
+
+
+def _parse_header(line: str, path: str) -> dict:
+    try:
+        header = json.loads(line)
+    except ValueError as error:
+        raise JournalError(
+            f"{path}: first line is not a journal header ({error})"
+        ) from error
+    if not isinstance(header, dict) or header.get("schema") != JOURNAL_SCHEMA:
+        raise JournalError(
+            f"{path}: not a campaign journal (expected schema "
+            f"{JOURNAL_SCHEMA!r})"
+        )
+    return header
+
+
+def read_journal(path: str) -> tuple[dict, dict[int, dict]]:
+    """Load ``(header, {run_index: result_record})`` from a journal.
+
+    Torn trailing lines are skipped; duplicate indices keep the latest
+    record (a re-run after resume may legitimately append a newer one).
+    """
+    with open(path) as handle:
+        first = handle.readline()
+        if not first.strip():
+            raise JournalError(f"{path}: empty journal")
+        header = _parse_header(first, path)
+        records: dict[int, dict] = {}
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # Torn write from a killed orchestrator: everything
+                # before it is still good.
+                continue
+            if isinstance(record, dict) and isinstance(
+                record.get("index"), int
+            ):
+                records[record["index"]] = record
+    return header, records
+
+
+class JournalWriter:
+    """Appends finalized results to a journal, creating or continuing it.
+
+    Continuing (the ``--resume`` + ``--journal`` same-file idiom)
+    validates the existing header against this campaign's fingerprint
+    before appending a single byte.
+    """
+
+    def __init__(self, path: str, fingerprint: str, total_runs: int):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.total_runs = total_runs
+        self._handle: Optional[TextIO] = None
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            header, __ = read_journal(path)
+            check_fingerprint(header, fingerprint, path)
+            self._handle = open(path, "a")
+        else:
+            self._handle = open(path, "w")
+            self._write_line(
+                {
+                    "schema": JOURNAL_SCHEMA,
+                    "fingerprint": fingerprint,
+                    "total_runs": total_runs,
+                }
+            )
+
+    def _write_line(self, record: dict) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append(self, record: dict) -> None:
+        """Persist one finalized result record (flushed immediately)."""
+        if self._handle is None:
+            raise ValueError("journal already closed")
+        self._write_line(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def check_fingerprint(header: dict, fingerprint: str, path: str) -> None:
+    """Refuse to mix results from a differently-configured campaign."""
+    recorded = header.get("fingerprint")
+    if fingerprint and recorded != fingerprint:
+        raise JournalError(
+            f"{path}: journal belongs to a different campaign "
+            f"(journal fingerprint {recorded!r}, this campaign "
+            f"{fingerprint!r})"
+        )

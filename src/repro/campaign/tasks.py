@@ -1,0 +1,63 @@
+"""Importable demo tasks for the campaign engine.
+
+Worker processes resolve task functions by module reference, so the
+engine's own tests and the CI ``campaign-smoke`` job need tasks that
+live in an importable module — these.  They double as minimal examples
+of the task contract: a module-level callable taking one JSON-pure
+payload dict and returning a JSON-pure value.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def echo_task(payload: dict) -> dict:
+    """Return the payload — the identity task (scheduling tests)."""
+    return dict(payload)
+
+
+def square_task(payload: dict) -> dict:
+    """A tiny deterministic computation keyed by the payload value."""
+    value = payload["value"]
+    return {"value": value, "square": value * value}
+
+
+def sleep_task(payload: dict) -> str:
+    """Sleep ``payload['seconds']`` — a stand-in for a hung run."""
+    time.sleep(payload.get("seconds", 60.0))
+    return "woke"
+
+
+def error_task(payload: dict):
+    """Raise — a deterministic task bug (classified ``task-error``)."""
+    raise RuntimeError(payload.get("message", "boom"))
+
+
+def crash_task(payload: dict):
+    """Die without reporting — what an OOM kill looks like."""
+    os._exit(payload.get("code", 21))
+
+
+def crash_once_task(payload: dict) -> dict:
+    """Crash on the first attempt, succeed on the retry.
+
+    Uses a marker file (``payload['marker']``) as the cross-process
+    "have I run before" bit, so the retry machinery is exercised with a
+    real process death rather than a mock.
+    """
+    marker = payload["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted\n")
+        os._exit(payload.get("code", 21))
+    return {"value": payload.get("value"), "recovered": True}
+
+
+def busy_task(payload: dict) -> int:
+    """Burn CPU deterministically — the parallel-speedup workload."""
+    total = 0
+    for i in range(payload.get("iterations", 200_000)):
+        total = (total + i * i) % 1_000_003
+    return total

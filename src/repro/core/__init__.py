@@ -32,6 +32,7 @@ from .errors import (
     GuardViolationError,
     ProtocolError,
     RuntimeDeadlockError,
+    SimulationTimeout,
     UnknownPortError,
     WatchdogTimeout,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "GuardViolationError",
     "ProtocolError",
     "RuntimeDeadlockError",
+    "SimulationTimeout",
     "UnknownPortError",
     "WatchdogTimeout",
     "LatencySample",

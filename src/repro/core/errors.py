@@ -132,6 +132,22 @@ class WatchdogTimeout(ControllerError):
         self.blocked_cycles = blocked_cycles
 
 
+class SimulationTimeout(ControllerError):
+    """The simulation exceeded its wall-clock budget (``max_wall_seconds``).
+
+    The in-process complement of the campaign engine's worker-kill
+    timeout: a livelocked run — cycles keep executing but the workload
+    never finishes — is catchable *inside* the process too, carrying
+    the cycle it reached and the budget it blew.
+    """
+
+    kind = "simulation-timeout"
+
+    def __init__(self, message: str, *, wall_seconds: float = 0.0, **coords):
+        super().__init__(message, **coords)
+        self.wall_seconds = wall_seconds
+
+
 class RuntimeDeadlockError(ControllerError):
     """The system-level watchdog saw no executor progress while guarded
     requests stayed blocked — the dynamic complement of the static check in

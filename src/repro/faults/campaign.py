@@ -13,25 +13,57 @@ executor's architectural register file):
 * ``silent-corruption`` — no detection, but the signature diverged: the
   worst case, and the reason fault campaigns exist.
 
-Everything is driven by one integer seed; two campaigns with the same
-configuration render byte-identical reports.
+Runs execute through the fault-tolerant campaign engine
+(:mod:`repro.campaign`), so the matrix can fan across worker processes
+(``--workers``) where three more classifications become possible when the
+*harness itself* is wounded — fault campaigns deliberately drive the
+simulator into pathological states, and a harness that dies with its
+workload loses every completed result:
+
+* ``worker-crashed`` — the worker process died before reporting
+  (``os._exit``, OOM kill); retried with capped exponential backoff,
+  reported only if the retry budget is exhausted;
+* ``worker-timeout`` — the run blew its ``--run-timeout`` wall-clock
+  budget and the worker was killed (also retried);
+* ``harness-error`` — the run raised an unexpected non-controller
+  exception (a harness bug: deterministic, never retried).
+
+Everything is driven by one integer seed; the merged report is
+byte-identical regardless of worker count, scheduling order, retries, or
+``--resume`` boundaries, because every run's faults derive only from its
+own run index (never shared RNG state) and results merge sorted by index.
 
 CLI::
 
     python -m repro faults --seed 7 --runs 8 --cycles 400
     python -m repro faults --organization arbitrated --policy abort
     python -m repro faults --kinds seu,producer-stall --report out.txt
+    python -m repro faults --workers 4 --run-timeout 120 --retries 2 \\
+        --journal campaign.jsonl            # crash-safe parallel campaign
+    python -m repro faults --resume campaign.jsonl --journal campaign.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import enum
+import hashlib
 import random
 import sys
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..campaign import (
+    OUTCOME_OK,
+    OUTCOME_TASK_ERROR,
+    OUTCOME_WORKER_CRASHED,
+    OUTCOME_WORKER_TIMEOUT,
+    CampaignEngine,
+    EngineConfig,
+    EngineReport,
+    RunResult,
+    RunSpec,
+)
 from ..core.advisor import Organization
 from ..core.errors import ControllerError
 from .injector import FaultInjector
@@ -70,11 +102,28 @@ class Classification(enum.Enum):
     DETECTED_RECOVERED = "detected-recovered"
     DETECTED_ABORTED = "detected-aborted"
     SILENT_CORRUPTION = "silent-corruption"
+    #: harness-level outcomes (see the module docstring): the run did
+    #: not complete because the *worker*, not the workload, failed
+    WORKER_CRASHED = "worker-crashed"
+    WORKER_TIMEOUT = "worker-timeout"
+    HARNESS_ERROR = "harness-error"
+
+
+#: Engine outcome -> classification for runs that never produced a
+#: simulator-level verdict.
+_ENGINE_CLASSIFICATIONS = {
+    OUTCOME_WORKER_CRASHED: Classification.WORKER_CRASHED,
+    OUTCOME_WORKER_TIMEOUT: Classification.WORKER_TIMEOUT,
+    OUTCOME_TASK_ERROR: Classification.HARNESS_ERROR,
+}
 
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Everything that determines a campaign (and hence its report)."""
+    """Everything that determines a campaign's *results* (and hence its
+    report).  Execution parameters — worker count, timeouts, retries,
+    journals — live in :class:`repro.campaign.EngineConfig` and may
+    never influence report bytes."""
 
     seed: int = 7
     runs: int = 8
@@ -100,6 +149,35 @@ class RunOutcome:
     degradations: tuple[str, ...] = ()
     error: Optional[str] = None
 
+    def to_json(self) -> dict:
+        """JSON-pure record (tuples become lists) — what a worker
+        returns and what the resume journal stores."""
+        return {
+            "organization": self.organization,
+            "index": self.index,
+            "fault_kinds": list(self.fault_kinds),
+            "faults": list(self.faults),
+            "classification": self.classification.value,
+            "cycles_run": self.cycles_run,
+            "watchdog_events": list(self.watchdog_events),
+            "degradations": list(self.degradations),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "RunOutcome":
+        return cls(
+            organization=record["organization"],
+            index=record["index"],
+            fault_kinds=tuple(record["fault_kinds"]),
+            faults=tuple(record["faults"]),
+            classification=Classification(record["classification"]),
+            cycles_run=record["cycles_run"],
+            watchdog_events=tuple(record["watchdog_events"]),
+            degradations=tuple(record["degradations"]),
+            error=record["error"],
+        )
+
 
 @dataclass
 class CampaignReport:
@@ -107,6 +185,15 @@ class CampaignReport:
 
     config: CampaignConfig
     outcomes: list[RunOutcome] = field(default_factory=list)
+    #: the campaign was cut short by Ctrl-C: ``outcomes`` is a valid
+    #: partial result set, rendered with an ``interrupted`` marker
+    interrupted: bool = False
+    #: the engine's execution telemetry (wall time, retries, worker
+    #: utilization) — never part of the deterministic render
+    engine: Optional[EngineReport] = None
+
+    def expected_runs(self) -> int:
+        return self.config.runs * len(self.config.organizations)
 
     def by_classification(self) -> dict[str, int]:
         counts: dict[str, int] = {c.value: 0 for c in Classification}
@@ -167,6 +254,12 @@ class CampaignReport:
             for name, count in sorted(self.by_classification().items())
         )
         lines.append(f"totals: {totals}")
+        if len(self.outcomes) < self.expected_runs():
+            lines.append(
+                f"partial: {len(self.outcomes)}/{self.expected_runs()} runs"
+            )
+        if self.interrupted:
+            lines.append("interrupted: true")
         return "\n".join(lines)
 
 
@@ -197,9 +290,24 @@ def _trace_rounds(sim) -> dict[str, list[tuple]]:
     return histories
 
 
+def _canonical(value):
+    """Recursively normalize lists to tuples: pickle/JSON transport of
+    a round history between orchestrator and workers must not affect
+    divergence comparison."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    return value
+
+
+def _canonical_history(history) -> dict[str, tuple]:
+    return {name: _canonical(rounds) for name, rounds in history.items()}
+
+
 def _diverged(golden: dict[str, list[tuple]], faulted: dict[str, list[tuple]]) -> bool:
     """True iff any thread's faulted round history contradicts the golden
     one on their common prefix (shorter-but-consistent = delayed, clean)."""
+    golden = _canonical_history(golden)
+    faulted = _canonical_history(faulted)
     for name, golden_rounds in golden.items():
         faulted_rounds = faulted.get(name, [])
         common = min(len(golden_rounds), len(faulted_rounds))
@@ -218,80 +326,179 @@ def _compile(source: str, organization: str):
     )
 
 
-def run_campaign(
-    config: CampaignConfig = CampaignConfig(),
-    source: str = CAMPAIGN_SOURCE,
-) -> CampaignReport:
-    """Run the full campaign and return its report."""
+def run_seed(config: CampaignConfig, org_index: int, index: int) -> int:
+    """The per-run RNG seed: a pure function of campaign seed and run
+    coordinates, never of shared RNG state — what keeps faults identical
+    across worker counts, retries, and resume boundaries."""
+    return config.seed * 1_000_003 + org_index * 7_919 + index
+
+
+def campaign_fingerprint(config: CampaignConfig, source: str) -> str:
+    """Identity of a campaign's *result surface* — binds a resume
+    journal to one (config, source) pair."""
+    digest = hashlib.sha256()
+    digest.update(repr(config).encode())
+    digest.update(source.encode())
+    return digest.hexdigest()[:16]
+
+
+def build_run_specs(
+    config: CampaignConfig, source: str = CAMPAIGN_SOURCE
+) -> list[RunSpec]:
+    """Flatten the (organization × run) matrix into engine run specs.
+
+    The fault-free golden run per organization executes here, once, in
+    the orchestrator; its round histories ride along in every payload so
+    workers classify independently.
+    """
     from ..flow import build_simulation
 
-    report = CampaignReport(config=config)
+    specs: list[RunSpec] = []
+    flat = 0
     for org_index, organization in enumerate(config.organizations):
         golden_sim = build_simulation(_compile(source, organization))
         golden = _trace_rounds(golden_sim)
         golden_sim.run(config.cycles)
-
         for index in range(config.runs):
-            rng = random.Random(
-                config.seed * 1_000_003 + org_index * 7_919 + index
-            )
-            # Recompile per run: faults mutate configuration-time state
-            # (the dependency list), which must not leak across runs.
-            sim = build_simulation(_compile(source, organization))
-            surface = FaultSurface.from_simulation(sim)
-            n_faults = 1 + (rng.random() < 0.4)
-            faults = []
-            for __ in range(n_faults):
-                fault = sample_fault(
-                    rng,
-                    rng.choice(config.fault_kinds),
-                    surface,
-                    config.cycles,
-                )
-                if fault is not None:
-                    faults.append(fault)
-            injector = FaultInjector(faults).attach(sim)
-            traced = _trace_rounds(sim)
-            watchdog = Watchdog(
-                read_timeout=config.read_timeout,
-                deadlock_window=config.deadlock_window,
-                policy=config.policy,
-            ).attach(sim)
-
-            error: Optional[str] = None
-            try:
-                sim.run(config.cycles)
-            except ControllerError as exc:
-                error = exc.describe()
-
-            if error is not None:
-                classification = Classification.DETECTED_ABORTED
-            elif watchdog.tripped:
-                classification = Classification.DETECTED_RECOVERED
-            elif _diverged(golden, traced):
-                classification = Classification.SILENT_CORRUPTION
-            else:
-                classification = Classification.CLEAN
-
-            report.outcomes.append(
-                RunOutcome(
-                    organization=organization,
-                    index=index,
-                    fault_kinds=tuple(f.kind for f in faults),
-                    faults=tuple(injector.describe()),
-                    classification=classification,
-                    cycles_run=sim.kernel.cycle,
-                    watchdog_events=tuple(
-                        e.describe() for e in watchdog.events
-                    ),
-                    degradations=tuple(watchdog.degradations),
-                    error=error,
+            specs.append(
+                RunSpec(
+                    index=flat,
+                    payload={
+                        "source": source,
+                        "organization": organization,
+                        "org_index": org_index,
+                        "index": index,
+                        "rng_seed": run_seed(config, org_index, index),
+                        "cycles": config.cycles,
+                        "fault_kinds": list(config.fault_kinds),
+                        "policy": config.policy,
+                        "read_timeout": config.read_timeout,
+                        "deadlock_window": config.deadlock_window,
+                        "golden": golden,
+                    },
                 )
             )
+            flat += 1
+    return specs
+
+
+def run_one(payload: dict) -> dict:
+    """Execute and classify one fault run (the engine task; runs in a
+    worker process under ``--workers N``).  Returns the
+    :class:`RunOutcome` as a JSON-pure dict."""
+    from ..flow import build_simulation
+
+    # Compile per run: faults mutate configuration-time state (the
+    # dependency list), which must not leak across runs.
+    sim = build_simulation(_compile(payload["source"], payload["organization"]))
+    surface = FaultSurface.from_simulation(sim)
+    rng = random.Random(payload["rng_seed"])
+    n_faults = 1 + (rng.random() < 0.4)
+    faults = []
+    for __ in range(n_faults):
+        fault = sample_fault(
+            rng,
+            rng.choice(tuple(payload["fault_kinds"])),
+            surface,
+            payload["cycles"],
+        )
+        if fault is not None:
+            faults.append(fault)
+    injector = FaultInjector(faults).attach(sim)
+    traced = _trace_rounds(sim)
+    watchdog = Watchdog(
+        read_timeout=payload["read_timeout"],
+        deadlock_window=payload["deadlock_window"],
+        policy=payload["policy"],
+    ).attach(sim)
+
+    error: Optional[str] = None
+    try:
+        sim.run(payload["cycles"])
+    except ControllerError as exc:
+        error = exc.describe()
+
+    if error is not None:
+        classification = Classification.DETECTED_ABORTED
+    elif watchdog.tripped:
+        classification = Classification.DETECTED_RECOVERED
+    elif _diverged(payload["golden"], traced):
+        classification = Classification.SILENT_CORRUPTION
+    else:
+        classification = Classification.CLEAN
+
+    return RunOutcome(
+        organization=payload["organization"],
+        index=payload["index"],
+        fault_kinds=tuple(f.kind for f in faults),
+        faults=tuple(injector.describe()),
+        classification=classification,
+        cycles_run=sim.kernel.cycle,
+        watchdog_events=tuple(e.describe() for e in watchdog.events),
+        degradations=tuple(watchdog.degradations),
+        error=error,
+    ).to_json()
+
+
+def _outcome_from_result(result: RunResult, spec: RunSpec) -> RunOutcome:
+    """Map an engine result to a classified outcome — including runs
+    the harness, not the simulator, failed to complete."""
+    if result.outcome == OUTCOME_OK:
+        return RunOutcome.from_json(result.value)
+    return RunOutcome(
+        organization=spec.payload["organization"],
+        index=spec.payload["index"],
+        fault_kinds=(),
+        faults=(),
+        classification=_ENGINE_CLASSIFICATIONS[result.outcome],
+        cycles_run=0,
+        error=result.error,
+    )
+
+
+def run_campaign(
+    config: CampaignConfig = CampaignConfig(),
+    source: str = CAMPAIGN_SOURCE,
+    engine: Optional[EngineConfig] = None,
+    metrics=None,
+) -> CampaignReport:
+    """Run the full campaign through the fault-tolerant engine and
+    return its report.
+
+    ``engine=None`` (or ``workers=1``) executes serially in-process;
+    any :class:`~repro.campaign.EngineConfig` fans the same matrix
+    across worker processes with crash isolation, per-run timeouts,
+    retry/backoff, and journal checkpoint/resume — the merged report is
+    byte-identical either way.
+    """
+    specs = build_run_specs(config, source)
+    campaign_engine = CampaignEngine(
+        run_one,
+        engine or EngineConfig(),
+        fingerprint=campaign_fingerprint(config, source),
+        metrics=metrics,
+    )
+    engine_report = campaign_engine.run(specs)
+    spec_by_index = {spec.index: spec for spec in specs}
+    report = CampaignReport(
+        config=config,
+        interrupted=engine_report.interrupted,
+        engine=engine_report,
+    )
+    for result in engine_report.results:
+        report.outcomes.append(
+            _outcome_from_result(result, spec_by_index[result.index])
+        )
     return report
 
 
 # -- command line ---------------------------------------------------------------------
+
+#: Single source of truth for CLI defaults: the dataclasses above.  The
+#: parser derives every default from these instances so the two can
+#: never drift (asserted by ``tests/faults/test_campaign.py``).
+CONFIG_DEFAULTS = CampaignConfig()
+ENGINE_DEFAULTS = EngineConfig()
 
 
 def _faults_parser() -> argparse.ArgumentParser:
@@ -300,15 +507,24 @@ def _faults_parser() -> argparse.ArgumentParser:
         description=(
             "Run a seeded fault-injection campaign against the generated "
             "memory controllers and classify every run against a golden "
-            "trace."
+            "trace.  Runs execute through the fault-tolerant campaign "
+            "engine: --workers fans them across crash-isolated processes, "
+            "--journal/--resume checkpoint completed runs, and the merged "
+            "report is byte-identical regardless."
         ),
     )
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=CONFIG_DEFAULTS.seed)
     parser.add_argument(
-        "--runs", type=int, default=8, help="fault runs per organization"
+        "--runs",
+        type=int,
+        default=CONFIG_DEFAULTS.runs,
+        help="fault runs per organization",
     )
     parser.add_argument(
-        "--cycles", type=int, default=400, help="simulated cycles per run"
+        "--cycles",
+        type=int,
+        default=CONFIG_DEFAULTS.cycles,
+        help="simulated cycles per run",
     )
     parser.add_argument(
         "--organization",
@@ -318,19 +534,25 @@ def _faults_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--policy",
         choices=[p.value for p in RecoveryPolicy],
-        default=RecoveryPolicy.BREAK_DEPENDENCY.value,
+        default=CONFIG_DEFAULTS.policy,
         help="watchdog recovery policy",
     )
     parser.add_argument(
         "--kinds",
-        default=",".join(FAULT_KINDS),
+        default=",".join(CONFIG_DEFAULTS.fault_kinds),
         help=f"comma-separated fault kinds (default: all of {FAULT_KINDS})",
     )
     parser.add_argument(
-        "--read-timeout", type=int, default=40, metavar="CYCLES"
+        "--read-timeout",
+        type=int,
+        default=CONFIG_DEFAULTS.read_timeout,
+        metavar="CYCLES",
     )
     parser.add_argument(
-        "--deadlock-window", type=int, default=80, metavar="CYCLES"
+        "--deadlock-window",
+        type=int,
+        default=CONFIG_DEFAULTS.deadlock_window,
+        metavar="CYCLES",
     )
     parser.add_argument(
         "--source", metavar="FILE", help="hic design to fault (default: built-in pipeline)"
@@ -338,11 +560,97 @@ def _faults_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--report", metavar="FILE", help="also write the report to FILE"
     )
+    engine = parser.add_argument_group(
+        "engine", "fault-tolerant execution (see docs/campaign.md)"
+    )
+    engine.add_argument(
+        "--workers",
+        type=int,
+        default=ENGINE_DEFAULTS.workers,
+        metavar="N",
+        help=(
+            "worker processes; each run executes crash-isolated in its "
+            "own process (1 = serial, in-process)"
+        ),
+    )
+    engine.add_argument(
+        "--run-timeout",
+        type=float,
+        default=ENGINE_DEFAULTS.run_timeout,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget per run: a hung worker is killed and the "
+            "run classified worker-timeout (default: no timeout)"
+        ),
+    )
+    engine.add_argument(
+        "--retries",
+        type=int,
+        default=ENGINE_DEFAULTS.retries,
+        metavar="N",
+        help=(
+            "extra attempts after a crashed/timed-out worker, with "
+            "capped exponential backoff"
+        ),
+    )
+    engine.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=ENGINE_DEFAULTS.journal,
+        help=(
+            "append each finalized run to this JSONL journal the moment "
+            "it completes (the crash-safety checkpoint)"
+        ),
+    )
+    engine.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=ENGINE_DEFAULTS.resume,
+        help=(
+            "skip runs already finalized in this journal (refused if it "
+            "belongs to a differently-configured campaign)"
+        ),
+    )
+    engine.add_argument(
+        "--stop-after",
+        type=int,
+        default=ENGINE_DEFAULTS.stop_after,
+        metavar="N",
+        help=(
+            "checkpoint valve: stop after N new results (exit code 3), "
+            "leaving the rest for --resume"
+        ),
+    )
+    engine.add_argument(
+        "--chaos-crash",
+        type=int,
+        action="append",
+        metavar="INDEX",
+        help=(
+            "testing aid: hard-crash the worker for flat run INDEX on "
+            "its first attempt (exercises retry/resume for real; "
+            "repeatable)"
+        ),
+    )
+    engine.add_argument(
+        "--engine-metrics",
+        metavar="FILE",
+        help=(
+            "write the engine's robustness counters (runs completed/"
+            "retried/crashed/timed-out, worker utilization) as "
+            "Prometheus text to FILE"
+        ),
+    )
     return parser
 
 
 def faults_main(argv: Optional[list] = None) -> int:
-    """Entry point for ``python -m repro faults``."""
+    """Entry point for ``python -m repro faults``.
+
+    Exit codes: 0 complete, 1 campaign error, 2 usage error, 3 stopped
+    at a ``--stop-after`` checkpoint (resume to finish), 130
+    interrupted by Ctrl-C (partial report still rendered).
+    """
     args = _faults_parser().parse_args(argv)
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
     unknown = set(kinds) - set(FAULT_KINDS)
@@ -372,15 +680,54 @@ def faults_main(argv: Optional[list] = None) -> int:
         read_timeout=args.read_timeout,
         deadlock_window=args.deadlock_window,
     )
+    engine_config = EngineConfig(
+        workers=args.workers,
+        run_timeout=args.run_timeout,
+        retries=args.retries,
+        journal=args.journal,
+        resume=args.resume,
+        stop_after=args.stop_after,
+        chaos=tuple((index, "crash") for index in (args.chaos_crash or ())),
+    )
+    metrics = None
+    if args.engine_metrics:
+        from ..obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
     try:
-        report = run_campaign(config, source=source)
+        report = run_campaign(
+            config, source=source, engine=engine_config, metrics=metrics
+        )
+    except KeyboardInterrupt:
+        # Interrupted before the engine produced any result (e.g. during
+        # the golden runs): nothing to render, but exit like an
+        # interrupted campaign.
+        print("interrupted before any campaign results", file=sys.stderr)
+        return 130
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     text = report.render()
     print(text)
+    if report.engine is not None:
+        # Execution telemetry goes to stderr: stdout is the
+        # deterministic report surface (byte-identical across worker
+        # counts), wall-clock numbers are not.
+        print(report.engine.describe(), file=sys.stderr)
+    if args.engine_metrics and metrics is not None:
+        with open(args.engine_metrics, "w") as handle:
+            handle.write(metrics.render_prometheus())
+        print(f"wrote engine metrics to {args.engine_metrics}")
     if args.report:
         with open(args.report, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote report to {args.report}")
+    if report.interrupted:
+        return 130
+    if report.engine is not None and report.engine.stopped:
+        print(
+            f"checkpoint: stopped after {report.engine.completed} new "
+            f"results; resume with --resume {args.journal or '<journal>'}"
+        )
+        return 3
     return 0

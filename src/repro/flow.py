@@ -316,8 +316,10 @@ class Simulation:
     #: zero-overhead disabled path)
     telemetry: Optional[object] = None
 
-    def run(self, cycles: int, until=None):
-        return self.kernel.run(cycles, until)
+    def run(self, cycles: int, until=None, max_wall_seconds=None):
+        """Run the kernel; ``max_wall_seconds`` is the livelock valve —
+        exceeding it raises :class:`~repro.core.errors.SimulationTimeout`."""
+        return self.kernel.run(cycles, until, max_wall_seconds=max_wall_seconds)
 
     def inject(self, interface: str, message: dict[str, int]) -> None:
         """Queue a message on an ingress interface."""

@@ -26,10 +26,12 @@ tick order, so the order is part of the reproducibility surface.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.controller import MemResult, MemoryController
+from ..core.errors import SimulationTimeout
 from .executor import ExecutorStats, ThreadExecutor
 
 #: A per-cycle hook: receives the cycle number and the kernel.
@@ -138,13 +140,41 @@ class SimulationKernel:
         self,
         cycles: int,
         until: Optional[Callable[["SimulationKernel"], bool]] = None,
+        max_wall_seconds: Optional[float] = None,
     ) -> SimulationResult:
-        """Run for ``cycles`` clock cycles (or until the predicate holds)."""
+        """Run for ``cycles`` clock cycles (or until the predicate holds).
+
+        ``max_wall_seconds`` is the livelock safety valve: when the run
+        has spent that much host wall-clock time without finishing, a
+        structured :class:`~repro.core.errors.SimulationTimeout` is
+        raised (after a completed cycle, so kernel state stays
+        consistent).  A hung *campaign* run is additionally killable
+        from outside by the campaign engine's worker timeout; this
+        valve makes the same condition catchable in-process.
+        """
+        deadline = self._deadline(max_wall_seconds)
         for __ in range(cycles):
             self.step()
             if until is not None and until(self):
                 break
+            if deadline is not None and time.monotonic() >= deadline:
+                self._raise_wall_timeout(max_wall_seconds)
         return self._result()
+
+    def _deadline(self, max_wall_seconds: Optional[float]) -> Optional[float]:
+        if max_wall_seconds is None:
+            return None
+        if max_wall_seconds < 0:
+            raise ValueError("max_wall_seconds must be >= 0")
+        return time.monotonic() + max_wall_seconds
+
+    def _raise_wall_timeout(self, max_wall_seconds: float) -> None:
+        raise SimulationTimeout(
+            f"simulation exceeded its {max_wall_seconds}s wall-clock "
+            f"budget after {self.cycle} cycles",
+            cycle=self.cycle,
+            wall_seconds=max_wall_seconds,
+        )
 
     def _result(self) -> SimulationResult:
         return SimulationResult(

@@ -37,6 +37,7 @@ registers) is byte-identical to the reference kernel's.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -371,11 +372,16 @@ class FastKernel(SimulationKernel):
 
     # -- driving ---------------------------------------------------------------------
 
-    def run(self, cycles: int, until=None) -> SimulationResult:
+    def run(
+        self, cycles: int, until=None, max_wall_seconds=None
+    ) -> SimulationResult:
+        deadline = self._deadline(max_wall_seconds)
         end = self.cycle + cycles
         last_cycle = end - 1
         while self.cycle < end:
             self.step()
+            if deadline is not None and time.monotonic() >= deadline:
+                self._raise_wall_timeout(max_wall_seconds)
             if until is not None:
                 # Per-cycle predicates may inspect any state: never skip.
                 if until(self):

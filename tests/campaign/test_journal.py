@@ -1,0 +1,72 @@
+"""Journal-format tests: header binding, torn writes, fingerprints."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    JournalWriter,
+    read_journal,
+)
+
+
+def test_writer_creates_header_and_appends(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    with JournalWriter(path, "fp-1", 3) as journal:
+        journal.append({"index": 0, "outcome": "ok", "attempts": 1})
+        journal.append({"index": 1, "outcome": "ok", "attempts": 1})
+    header, records = read_journal(path)
+    assert header["schema"] == JOURNAL_SCHEMA
+    assert header["fingerprint"] == "fp-1"
+    assert header["total_runs"] == 3
+    assert sorted(records) == [0, 1]
+
+
+def test_append_reopen_validates_fingerprint(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    JournalWriter(path, "fp-1", 2).close()
+    with pytest.raises(JournalError, match="different campaign"):
+        JournalWriter(path, "fp-2", 2)
+    # The matching fingerprint continues the same file.
+    with JournalWriter(path, "fp-1", 2) as journal:
+        journal.append({"index": 0, "outcome": "ok", "attempts": 1})
+    __, records = read_journal(path)
+    assert list(records) == [0]
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with JournalWriter(str(path), "fp", 2) as journal:
+        journal.append({"index": 0, "outcome": "ok", "attempts": 1})
+    with open(path, "a") as handle:
+        handle.write('{"index": 1, "outco')  # died mid-append
+    __, records = read_journal(str(path))
+    assert list(records) == [0]
+
+
+def test_duplicate_index_latest_wins(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with JournalWriter(str(path), "fp", 1) as journal:
+        journal.append({"index": 0, "outcome": "worker-crashed", "attempts": 3})
+        journal.append({"index": 0, "outcome": "ok", "attempts": 1})
+    __, records = read_journal(str(path))
+    assert records[0]["outcome"] == "ok"
+
+
+def test_non_journal_file_refused(tmp_path):
+    path = tmp_path / "not_a_journal.jsonl"
+    path.write_text(json.dumps({"schema": "something/else"}) + "\n")
+    with pytest.raises(JournalError, match="not a campaign journal"):
+        read_journal(str(path))
+    path.write_text("")
+    with pytest.raises(JournalError, match="empty"):
+        read_journal(str(path))
+
+
+def test_closed_writer_refuses_appends(tmp_path):
+    journal = JournalWriter(str(tmp_path / "run.jsonl"), "fp", 1)
+    journal.close()
+    with pytest.raises(ValueError, match="closed"):
+        journal.append({"index": 0, "outcome": "ok"})

@@ -1,10 +1,37 @@
 """Campaign-level tests: classification, determinism, and the CLI."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import main
+from repro.campaign import EngineConfig
 from repro.faults import CampaignConfig, Classification, run_campaign
-from repro.faults.campaign import CAMPAIGN_SOURCE, _diverged
+from repro.faults.campaign import (
+    CAMPAIGN_SOURCE,
+    CONFIG_DEFAULTS,
+    ENGINE_DEFAULTS,
+    CampaignReport,
+    _diverged,
+    _faults_parser,
+)
+
+GOLDEN_REPORT = (
+    Path(__file__).parent / "golden" / "campaign_smoke_report.txt"
+)
+
+#: The committed golden fixture's exact configuration (also the CI
+#: ``campaign-smoke`` scenario).
+SMOKE_CONFIG = CampaignConfig(
+    seed=7, runs=4, cycles=250, organizations=("arbitrated",)
+)
+SMOKE_CLI = [
+    "faults",
+    "--seed", "7",
+    "--runs", "4",
+    "--cycles", "250",
+    "--organization", "arbitrated",
+]
 
 
 class TestClassification:
@@ -75,6 +102,109 @@ class TestDeterminism:
         assert first != second
 
 
+class TestEngineIntegration:
+    """The fault campaign through the fault-tolerant engine: the merged
+    report must be byte-identical across worker counts, injected
+    crashes, and resume boundaries (the acceptance criterion)."""
+
+    def test_parallel_render_matches_serial(self):
+        serial = run_campaign(SMOKE_CONFIG).render()
+        parallel = run_campaign(
+            SMOKE_CONFIG, engine=EngineConfig(workers=2)
+        ).render()
+        assert parallel == serial
+
+    def test_chaos_crash_is_retried_and_invisible(self):
+        report = run_campaign(
+            SMOKE_CONFIG,
+            engine=EngineConfig(
+                workers=2, retries=2, backoff_base=0.0, chaos=((1, "crash"),)
+            ),
+        )
+        assert report.engine.crashed_attempts == 1
+        assert report.engine.retried == 1
+        assert report.render() == run_campaign(SMOKE_CONFIG).render()
+
+    def test_exhausted_retries_classify_worker_crashed(self):
+        report = run_campaign(
+            SMOKE_CONFIG,
+            engine=EngineConfig(
+                workers=2, retries=0, backoff_base=0.0, chaos=((1, "crash"),)
+            ),
+        )
+        by_class = report.by_classification()
+        assert by_class[Classification.WORKER_CRASHED.value] == 1
+        assert "worker-crashed" in report.render()
+
+    def test_crash_stop_resume_merges_identically(self, tmp_path):
+        """Kill-and-resume with an injected crash == uninterrupted serial."""
+        journal = str(tmp_path / "campaign.jsonl")
+        first = run_campaign(
+            SMOKE_CONFIG,
+            engine=EngineConfig(
+                workers=2,
+                retries=2,
+                backoff_base=0.0,
+                chaos=((1, "crash"),),
+                journal=journal,
+                stop_after=2,
+            ),
+        )
+        assert first.engine.stopped
+        assert first.engine.completed == 2
+        second = run_campaign(
+            SMOKE_CONFIG,
+            engine=EngineConfig(workers=2, journal=journal, resume=journal),
+        )
+        assert second.engine.resumed == 2
+        assert second.render() == run_campaign(SMOKE_CONFIG).render()
+
+    def test_golden_fixture_is_honest(self):
+        """The committed CI golden must equal a fresh serial run."""
+        assert GOLDEN_REPORT.read_text() == (
+            run_campaign(SMOKE_CONFIG).render() + "\n"
+        )
+
+    def test_partial_report_renders_marker(self):
+        full = run_campaign(SMOKE_CONFIG)
+        partial = CampaignReport(
+            config=SMOKE_CONFIG,
+            outcomes=full.outcomes[:1],
+            interrupted=True,
+        )
+        text = partial.render()
+        assert "partial: 1/4 runs" in text
+        assert "interrupted: true" in text
+        assert "interrupted" not in full.render()
+
+
+class TestDefaultsSingleSource:
+    """The argparse defaults must be derived from the dataclasses —
+    asserted attribute by attribute so they can never drift."""
+
+    def test_parser_defaults_match_dataclasses(self):
+        args = _faults_parser().parse_args([])
+        assert args.seed == CONFIG_DEFAULTS.seed
+        assert args.runs == CONFIG_DEFAULTS.runs
+        assert args.cycles == CONFIG_DEFAULTS.cycles
+        assert args.policy == CONFIG_DEFAULTS.policy
+        assert (
+            tuple(args.kinds.split(",")) == CONFIG_DEFAULTS.fault_kinds
+        )
+        assert args.read_timeout == CONFIG_DEFAULTS.read_timeout
+        assert args.deadlock_window == CONFIG_DEFAULTS.deadlock_window
+        assert args.workers == ENGINE_DEFAULTS.workers
+        assert args.run_timeout == ENGINE_DEFAULTS.run_timeout
+        assert args.retries == ENGINE_DEFAULTS.retries
+        assert args.journal == ENGINE_DEFAULTS.journal
+        assert args.resume == ENGINE_DEFAULTS.resume
+        assert args.stop_after == ENGINE_DEFAULTS.stop_after
+
+    def test_default_config_equals_dataclass(self):
+        assert CONFIG_DEFAULTS == CampaignConfig()
+        assert ENGINE_DEFAULTS == EngineConfig()
+
+
 class TestDivergence:
     def test_prefix_consistency_is_clean(self):
         golden = {"t": [(1,), (2,), (3,)]}
@@ -142,3 +272,101 @@ class TestCli:
         code, out = self.run_cli(capsys, "--source", str(path))
         assert code == 0
         assert "totals:" in out
+
+    def test_engine_summary_on_stderr_only(self, capsys, tmp_path):
+        path = tmp_path / "report.txt"
+        code = main(
+            ["faults", "--seed", "7", "--runs", "2", "--cycles", "150",
+             "--organization", "arbitrated", "--report", str(path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "engine: workers=1" in captured.err
+        # Wall-clock telemetry must never leak into the deterministic
+        # surfaces: neither stdout nor the report artifact.
+        assert "engine:" not in captured.out
+        assert "engine:" not in path.read_text()
+
+    def test_engine_metrics_written(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, __ = self.run_cli(capsys, "--engine-metrics", str(path))
+        assert code == 0
+        text = path.read_text()
+        assert 'campaign_runs_total{outcome="ok"} 2' in text
+        assert "campaign_workers 1" in text
+
+
+class TestCliRobustness:
+    """Exit codes and byte-identity of the checkpoint/resume CLI flow —
+    the same scenario the CI ``campaign-smoke`` job runs."""
+
+    def test_chaos_stop_resume_reproduces_golden(self, capsys, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        report_path = tmp_path / "resumed.txt"
+        code = main(
+            SMOKE_CLI
+            + [
+                "--workers", "2",
+                "--retries", "2",
+                "--chaos-crash", "1",
+                "--journal", journal,
+                "--stop-after", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "checkpoint: stopped after 2 new results" in out
+        code = main(
+            SMOKE_CLI
+            + [
+                "--workers", "2",
+                "--journal", journal,
+                "--resume", journal,
+                "--report", str(report_path),
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert report_path.read_bytes() == GOLDEN_REPORT.read_bytes()
+
+    def test_resume_refuses_foreign_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        assert main(SMOKE_CLI + ["--journal", journal]) == 0
+        capsys.readouterr()
+        # Same journal, different campaign config: refused, not merged.
+        code = main(
+            SMOKE_CLI[:-1] + ["both", "--resume", journal]
+        )
+        assert code == 1
+        assert "different campaign" in capsys.readouterr().err
+
+    def test_interrupt_mid_campaign_renders_partial_and_exits_130(
+        self, capsys, monkeypatch
+    ):
+        import repro.faults.campaign as campaign_module
+
+        real_run_one = campaign_module.run_one
+
+        def interrupting(payload):
+            if payload["index"] == 2:
+                raise KeyboardInterrupt
+            return real_run_one(payload)
+
+        monkeypatch.setattr(campaign_module, "run_one", interrupting)
+        code = main(SMOKE_CLI)
+        out = capsys.readouterr().out
+        assert code == 130
+        assert "partial: 2/4 runs" in out
+        assert "interrupted: true" in out
+        assert "run arbitrated#0:" in out
+
+    def test_interrupt_before_any_result_exits_130(self, capsys, monkeypatch):
+        import repro.faults.campaign as campaign_module
+
+        def interrupting(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(campaign_module, "run_campaign", interrupting)
+        code = main(SMOKE_CLI)
+        assert code == 130
+        assert "interrupted before" in capsys.readouterr().err

@@ -119,3 +119,20 @@ class TestCliTelemetry:
                      "--trace-json", str(full),
                      "--trace-level", "full"]) == 0
         assert len(full.read_bytes()) > len(deps.read_bytes())
+
+    def test_max_wall_seconds_times_out(self, figure1_file, capsys):
+        code = main(
+            [figure1_file, "--simulate", "100000",
+             "--max-wall-seconds", "0"]
+        )
+        assert code == 1
+        assert "simulation-timeout" in capsys.readouterr().err
+
+    def test_max_wall_seconds_generous_budget_completes(
+        self, figure1_file, capsys
+    ):
+        code = main(
+            [figure1_file, "--simulate", "50", "--max-wall-seconds", "60"]
+        )
+        assert code == 0
+        assert "simulated 50 cycles" in capsys.readouterr().out
