@@ -136,7 +136,9 @@ def test_campaign_parallel_speedup(benchmark):
         payload = json.loads(BENCH_JSON_PATH.read_text())
     except (OSError, ValueError):
         payload = {}
-    payload["schema"] = "repro.bench.sim/2"
+    # Keep in lockstep with bench_sim_performance.BENCH_SCHEMA: /3 added
+    # the profiler overhead section.
+    payload["schema"] = "repro.bench.sim/3"
     payload["campaign"] = {
         "workload": (
             f"chaos campaign: {RUNS} cpu-bound runs "

@@ -9,6 +9,7 @@ Examples::
     python -m repro design.hic --organization event_driven --verilog out.v
     python -m repro design.hic --simulate 1000 --vcd trace.vcd
     python -m repro faults --seed 7 --runs 8        # chaos campaign
+    python -m repro profile design.hic --flame f.svg  # cycle attribution
 """
 
 from __future__ import annotations
@@ -18,8 +19,9 @@ import sys
 
 from .core.advisor import Organization
 from .core.errors import SimulationTimeout
-from .flow import build_simulation, compile_design
+from .flow import SIMULATION_KERNELS, build_simulation, compile_design
 from .hic.errors import HicError
+from .obs.tracer import TRACE_LEVELS
 from .sim import ConsumerLatencyProbe, VcdWriter, determinism_report
 
 
@@ -91,7 +93,9 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernel",
-        choices=["reference", "wheel"],
+        # Derived from the flow's registry so argparse fails fast with
+        # the real list if a backend is ever added or renamed.
+        choices=list(SIMULATION_KERNELS),
         default="wheel",
         help=(
             "simulation backend: 'wheel' (default) skips provably idle "
@@ -101,7 +105,10 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--trace-level",
-        choices=["deps", "full"],
+        # The tracer's TRACE_LEVELS is the single source of truth: an
+        # unknown level dies in argparse with the valid choices listed,
+        # not deep in run setup.
+        choices=list(TRACE_LEVELS),
         default="deps",
         help=(
             "event granularity: 'deps' records dependency-lifecycle events "
@@ -207,6 +214,11 @@ def main(argv: list[str] | None = None) -> int:
         from .faults.campaign import faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "profile":
+        # Sub-tool: cycle-attribution profiler (see docs/profiling.md).
+        from .obs.profile_cli import profile_main
+
+        return profile_main(argv[1:])
     args = _parser().parse_args(argv)
     try:
         with open(args.source) as handle:

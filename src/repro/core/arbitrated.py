@@ -89,6 +89,11 @@ class ArbitratedController(MemoryController):
             self.cam.write(row, entry.base_address, entry.dependency_number)
         #: cycles in which a blocked port-C read was overridden by port D
         self.override_count = 0
+        #: entry-resolution cache for ``classify_wait``: CAM matches are
+        #: static per deplist configuration, so a tagged request's entry
+        #: (and its address's sibling set) resolve once per config
+        self._wait_cache: dict = {}
+        self._wait_cache_version = -1
 
     # -- policy ---------------------------------------------------------------------
 
@@ -151,6 +156,9 @@ class ArbitratedController(MemoryController):
             request = next(r for r in d_allowed if r.client == winner)
             results[request.client] = self._perform(request)
             self.deplist.note_producer_write(request.address, request.client, request.dep_id)
+            # Arming flips guard predicates (outstanding 0 -> dn), so
+            # cached wait classifications may be stale.
+            self.classify_epoch += 1
             if self.observer is not None:
                 entry = self.deplist.match_for_write(
                     request.address, request.client, request.dep_id
@@ -182,6 +190,12 @@ class ArbitratedController(MemoryController):
                 self.deplist.note_consumer_read(
                     request.address, request.client, request.dep_id
                 )
+                if entry.outstanding == 0:
+                    # Only the boundary transition (1 -> 0) can change a
+                    # guard predicate — ``outstanding > 0`` and
+                    # ``all(== 0)`` are blind to mid-range decrements —
+                    # so only it invalidates cached classifications.
+                    self.classify_epoch += 1
                 if self.observer is not None:
                     self.observer.on_dep_decrement(
                         self.bram.name,
@@ -233,6 +247,67 @@ class ArbitratedController(MemoryController):
             return cycle + 1
         return None
 
+    # -- wait attribution (profiler seam) ----------------------------------------------
+
+    def classify_wait(self, request: MemRequest) -> tuple[str, str, str]:
+        """Mirror of the §3.1 grantability rules (see ``next_wake``):
+
+        * a blocked port-D write whose guard *disallows* it is waiting
+          for the previous round to drain → ``guard-stall``;
+        * a blocked port-C read whose guard disallows it is waiting for
+          the producer's data → ``blocked-read``;
+        * everything else (port A mux loss, allowed-but-unserved C/D,
+          port B yielding to C/D traffic) lost arbitration.
+
+        Entry resolution goes through :attr:`_wait_cache` — matches
+        depend only on the deplist *configuration*, so they are
+        re-derived only when ``config_version`` moves (a corruption
+        fault); the per-call work is just the counter predicates.
+        Untagged port-C reads prefer an armed entry, which makes their
+        resolution state-dependent — they take the uncached path.
+        """
+        site = self.bram.name
+        port = request.port
+        if port == "D" or (port == "C" and request.dep_id is not None):
+            version = self.deplist.config_version
+            if version != self._wait_cache_version:
+                self._wait_cache_version = version
+                self._wait_cache.clear()
+            key = (request.client, port, request.address, request.dep_id)
+            cached = self._wait_cache.get(key)
+            if cached is None:
+                if port == "D":
+                    cached = (
+                        self.deplist.match_for_write(
+                            request.address, request.client, request.dep_id
+                        ),
+                        tuple(self.deplist.matches(request.address)),
+                    )
+                else:
+                    cached = (
+                        self.deplist.match_for_read(
+                            request.address, request.client, request.dep_id
+                        ),
+                        (),
+                    )
+                self._wait_cache[key] = cached
+            entry, siblings = cached
+            if port == "D":
+                # producer_write_allowed: a matching entry must exist
+                # and every sibling on the address must be drained.
+                if entry is None or any(e.outstanding for e in siblings):
+                    return ("guard-stall", site, port)
+            elif entry is not None and entry.outstanding == 0:
+                # consumer_read_allowed: unguarded reads grant
+                # defensively; a guarded one needs outstanding data.
+                return ("blocked-read", site, port)
+            return ("arbitration-loss", site, port)
+        if port == "C" and not self.deplist.consumer_read_allowed(
+            request.address, request.client, request.dep_id
+        ):
+            return ("blocked-read", site, port)
+        return ("arbitration-loss", site, port)
+
     # -- watchdog recovery tap --------------------------------------------------------
 
     def force_unblock(self, request: MemRequest, cycle: int) -> bool:
@@ -247,6 +322,7 @@ class ArbitratedController(MemoryController):
         Both are *degradations*: legal traffic may now observe stale or
         skipped values — the watchdog records that alongside the recovery.
         """
+        self.classify_epoch += 1
         if request.write:
             armed = [
                 e for e in self.deplist.matches(request.address) if e.outstanding

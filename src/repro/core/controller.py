@@ -117,6 +117,15 @@ class MemoryController(abc.ABC):
         self.request_taps: list[RequestTap] = []
         #: requests left ungranted by the most recent ``arbitrate`` call
         self.blocked: list[BlockedRequest] = []
+        #: the same requests indexed by client (first in sort order wins
+        #: for a client with several) — the profiler's per-cycle view.
+        #: When the blocked membership is unchanged from the previous
+        #: cycle (no grants, same pending keys) the *same dict object*
+        #: is kept, so observers can use identity as a cheap "nothing
+        #: moved" signal; its requests may then be the equal-keyed
+        #: objects of an earlier cycle.
+        self.blocked_by_client: dict[str, MemRequest] = {}
+        self._blocked_keys: set = set()
         #: telemetry seam (:class:`repro.obs.Telemetry`); every call site
         #: is guarded by ``is not None`` so the disabled path costs one
         #: attribute check
@@ -126,6 +135,13 @@ class MemoryController(abc.ABC):
         #: site and "deps"-level telemetry derives submission counts
         #: from grants instead (see ``unfinished_request_counts``)
         self.submit_observer = None
+        #: classification-cache token (profiler seam): each organization
+        #: bumps it exactly where state that its ``classify_wait`` reads
+        #: mutates — deplist arm/decrement, slot advance, watchdog
+        #: recovery, fault corruption.  A blocked request's
+        #: classification is invariant between bumps, so the profiler
+        #: may reuse it without re-deriving.
+        self.classify_epoch = 0
 
     # -- cycle protocol ------------------------------------------------------------
 
@@ -176,6 +192,21 @@ class MemoryController(abc.ABC):
             ),
             key=lambda b: b.request.sort_key,
         )
+        # A request key fixes every classification-relevant field, and a
+        # client can only change the request behind a key after a grant
+        # empties its old key out of this set — so an unchanged ungranted
+        # key set means the per-client view from last cycle is still
+        # equivalent.  Keep the same object: identity is the observers'
+        # "nothing moved" signal (grants of never-blocked requests don't
+        # disturb it).
+        if self._pending.keys() != self._blocked_keys:
+            by_client: dict[str, MemRequest] = {}
+            for item in self.blocked:
+                client = item.request.client
+                if client not in by_client:
+                    by_client[client] = item.request
+            self.blocked_by_client = by_client
+            self._blocked_keys = set(self._pending)
         # Requests not granted remain pending; threads re-submit anyway.
         self._pending = {}
         return results
@@ -202,6 +233,21 @@ class MemoryController(abc.ABC):
         ``request`` back, recording nothing.  Returns True if the
         organization could do anything; the base class cannot."""
         return False
+
+    # -- wait attribution (profiler seam) ----------------------------------------------
+
+    def classify_wait(self, request: MemRequest) -> tuple[str, str, str]:
+        """Attribute one blocked cycle of ``request`` to a wait state.
+
+        Returns ``(state, site, port)`` where *state* is one of the
+        :data:`repro.obs.attribution.WAIT_STATES` strings (plain
+        literals here — ``repro.obs`` imports this module, not the
+        other way round) and *site* is the controller that held the
+        request.  Organizations override this to mirror their own
+        grantability rules; the conservative base answer is that a
+        blocked request was grantable but lost arbitration.
+        """
+        return ("arbitration-loss", self.bram.name, request.port)
 
     # -- quiescence (fast-kernel wake contract) -------------------------------------
 
@@ -235,7 +281,9 @@ class MemoryController(abc.ABC):
         self._issue_cycle.clear()
         self.latency_samples.clear()
         self.blocked.clear()
+        self.blocked_by_client = {}
         self.cycle = 0
+        self.classify_epoch += 1
 
     # -- statistics -----------------------------------------------------------------
 

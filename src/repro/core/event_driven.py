@@ -91,6 +91,7 @@ class EventDrivenController(MemoryController):
                 ):
                     results[request.client] = self._perform(request)
                     next_slot = self.selection.advance(cycle)
+                    self.classify_epoch += 1
                     if (
                         is_producer
                         and next_slot is not None
@@ -152,6 +153,25 @@ class EventDrivenController(MemoryController):
                     return cycle + 1
         return None
 
+    # -- wait attribution (profiler seam) ----------------------------------------------
+
+    def classify_wait(self, request: MemRequest) -> tuple[str, str, str]:
+        """Mirror of the §3.2 slot rules: a guarded request whose slot
+        is *not* selected waits on the static schedule — for a producer
+        that is the guard pacing it (``guard-stall``), for a consumer it
+        is the not-yet-signalled event (``blocked-read``).  A request
+        whose slot *is* enabled (or any port-A request) merely lost the
+        one-access-per-cycle arbitration."""
+        site = self.bram.name
+        if request.port != "A" and request.dep_id is not None:
+            slot = self.selection.current
+            if slot is None or not self.selection.enabled(
+                request.client, request.dep_id, request.write
+            ):
+                state = "guard-stall" if request.write else "blocked-read"
+                return (state, site, request.port)
+        return ("arbitration-loss", site, request.port)
+
     # -- watchdog recovery tap --------------------------------------------------------
 
     def force_unblock(self, request: MemRequest, cycle: int) -> bool:
@@ -164,6 +184,7 @@ class EventDrivenController(MemoryController):
         """
         if self.selection.current is None:
             return False
+        self.classify_epoch += 1
         self.selection.advance(cycle)
         return True
 

@@ -160,6 +160,7 @@ class LockBaselineController(MemoryController):
                 if entry.outstanding == 0:
                     self.bram.write(address, job.request.data, cycle, "L")
                     entry.outstanding = entry.dependency_number
+                    self.classify_epoch += 1
                     job.phase = _JobPhase.RELEASE
                     if self.observer is not None:
                         self.observer.on_dep_armed(
@@ -177,6 +178,9 @@ class LockBaselineController(MemoryController):
                 if entry.outstanding > 0:
                     job.result_data = self.bram.read(address, cycle, "L")
                     entry.outstanding -= 1
+                    if entry.outstanding == 0:
+                        # Guard predicates only see the 1 -> 0 boundary.
+                        self.classify_epoch += 1
                     job.phase = _JobPhase.RELEASE
                     if self.observer is not None:
                         self.observer.on_dep_decrement(
@@ -206,6 +210,26 @@ class LockBaselineController(MemoryController):
         job.holds_lock = False
         self.stats.useful_accesses += 1
         return MemResult(granted=True, data=job.result_data)
+
+    # -- wait attribution (profiler seam) ----------------------------------------------
+
+    def classify_wait(self, request: MemRequest) -> tuple[str, str, str]:
+        """Lock-protocol semantics: a guarded access whose *data* guard
+        would fail (producer with unconsumed data outstanding, consumer
+        with nothing produced) is a true dependency wait even while the
+        client is still churning through lock words; any other blocked
+        cycle is lock/protocol contention — the overhead the paper's
+        one-cycle guarded ports eliminate."""
+        site = self.bram.name
+        if request.port != "A":
+            entry = self.deplist.match(request.address)
+            if request.write:
+                if entry is not None and entry.outstanding > 0:
+                    return ("guard-stall", site, request.port)
+            else:
+                if entry is None or entry.outstanding == 0:
+                    return ("blocked-read", site, request.port)
+        return ("arbitration-loss", site, request.port)
 
     # -- quiescence (fast-kernel wake contract) ---------------------------------------
 

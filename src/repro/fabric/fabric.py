@@ -339,6 +339,9 @@ class MemoryFabric(MemoryController):
     def _arbitrate_cycle(
         self, requests: list[MemRequest], cycle: int
     ) -> dict[str, MemResult]:
+        # A tracked request's crossbar/bank state can advance every
+        # fabric cycle, so cached classifications never outlive one.
+        self.classify_epoch += 1
         armed = self.router.tick(cycle)
         if armed and self.observer is not None:
             on_notified = getattr(self.observer, "on_dep_notified", None)
@@ -478,9 +481,26 @@ class MemoryFabric(MemoryController):
         for bank in self.banks.values():
             bank.note_idle_cycles(cycle)
 
+    # -- wait attribution (profiler seam) ------------------------------------------------
+
+    def classify_wait(self, request: MemRequest) -> tuple[str, str, str]:
+        """Attribute a fabric-blocked cycle to its pipeline stage:
+        router-gated at ingress → ``guard-stall``, in the crossbar →
+        ``crossbar-transit``, delivered → whatever the owning bank's own
+        rules say (so the site label is the *bank*, not the fabric)."""
+        tracked = self._tracked.get(request.key)
+        if tracked is None:
+            return ("arbitration-loss", self.bram.name, request.port)
+        if tracked.state is _State.GATED:
+            return ("guard-stall", self.bram.name, request.port)
+        if tracked.state is _State.IN_FLIGHT:
+            return ("crossbar-transit", self.bram.name, request.port)
+        return self.banks[tracked.bank].classify_wait(tracked.routed)
+
     # -- watchdog recovery -------------------------------------------------------------
 
     def force_unblock(self, request: MemRequest, cycle: int) -> bool:
+        self.classify_epoch += 1
         tracked = self._tracked.get(request.key)
         if tracked is not None and tracked.managed:
             if request.write:

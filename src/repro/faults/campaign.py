@@ -41,6 +41,15 @@ CLI::
     python -m repro faults --workers 4 --run-timeout 120 --retries 2 \\
         --journal campaign.jsonl            # crash-safe parallel campaign
     python -m repro faults --resume campaign.jsonl --journal campaign.jsonl
+    python -m repro faults --profile --summary-json summary.json
+        # per-run cycle attribution merged into a bottleneck heatmap
+
+With ``--profile`` every run carries the cycle-attribution profiler
+(:mod:`repro.obs.profiler`); workers ship the per-run ledger back
+through the same result pipe/journal as the classification, and the
+orchestrator merges them — index-sorted, commutative addition — into an
+organization × wait-state bottleneck heatmap that is byte-identical
+across worker counts and resume boundaries.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from __future__ import annotations
 import argparse
 import enum
 import hashlib
+import json
 import random
 import sys
 from dataclasses import dataclass, field
@@ -66,6 +76,8 @@ from ..campaign import (
 )
 from ..core.advisor import Organization
 from ..core.errors import ControllerError
+from ..obs.attribution import WAIT_STATES
+from ..obs.profiler import merge_profiles
 from .injector import FaultInjector
 from .models import FAULT_KINDS, FaultSurface, sample_fault
 from .watchdog import RecoveryPolicy, Watchdog
@@ -133,6 +145,11 @@ class CampaignConfig:
     policy: str = RecoveryPolicy.BREAK_DEPENDENCY.value
     read_timeout: int = 40
     deadlock_window: int = 80
+    #: attach the cycle-attribution profiler to every run and merge the
+    #: per-run ledgers into a campaign-level bottleneck heatmap (part of
+    #: the result surface: profiles ride in each run's journaled value,
+    #: so flipping this changes the campaign fingerprint)
+    profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -148,11 +165,14 @@ class RunOutcome:
     watchdog_events: tuple[str, ...] = ()
     degradations: tuple[str, ...] = ()
     error: Optional[str] = None
+    #: the run's cycle-attribution ledger (``cycles``/``states``/``sites``)
+    #: when the campaign profiles; ``None`` otherwise
+    profile: Optional[dict] = None
 
     def to_json(self) -> dict:
         """JSON-pure record (tuples become lists) — what a worker
         returns and what the resume journal stores."""
-        return {
+        record = {
             "organization": self.organization,
             "index": self.index,
             "fault_kinds": list(self.fault_kinds),
@@ -163,6 +183,11 @@ class RunOutcome:
             "degradations": list(self.degradations),
             "error": self.error,
         }
+        # Emitted only when profiling so unprofiled journals/goldens keep
+        # their historical byte layout.
+        if self.profile is not None:
+            record["profile"] = self.profile
+        return record
 
     @classmethod
     def from_json(cls, record: dict) -> "RunOutcome":
@@ -176,6 +201,7 @@ class RunOutcome:
             watchdog_events=tuple(record["watchdog_events"]),
             degradations=tuple(record["degradations"]),
             error=record["error"],
+            profile=record.get("profile"),
         )
 
 
@@ -217,6 +243,22 @@ class CampaignReport:
         """Distinct fault kinds that produced at least one classified run."""
         return tuple(sorted({k for o in self.outcomes for k in o.fault_kinds}))
 
+    def profile_by_organization(self) -> dict[str, dict]:
+        """organization -> merged cycle-attribution ledger (the campaign
+        bottleneck heatmap).  ``outcomes`` is index-sorted by the engine
+        merge, so the fold order — and hence the merged dict — is
+        identical across worker counts and resume boundaries."""
+        grouped: dict[str, list[dict]] = {}
+        for outcome in self.outcomes:
+            if outcome.profile is not None:
+                grouped.setdefault(outcome.organization, []).append(
+                    outcome.profile
+                )
+        return {
+            organization: merge_profiles(profiles)
+            for organization, profiles in grouped.items()
+        }
+
     def render(self) -> str:
         cfg = self.config
         lines = [
@@ -254,6 +296,28 @@ class CampaignReport:
             for name, count in sorted(self.by_classification().items())
         )
         lines.append(f"totals: {totals}")
+        heatmap = self.profile_by_organization()
+        if heatmap:
+            # Only profiled campaigns grow this section: the committed
+            # unprofiled golden keeps its historical bytes.
+            lines.append("")
+            lines.append("bottleneck heatmap (cycles per wait state):")
+            for organization, merged in sorted(heatmap.items()):
+                cells = " ".join(
+                    f"{state}={merged['states'][state]}"
+                    for state in WAIT_STATES
+                    if merged["states"].get(state)
+                )
+                lines.append(
+                    f"  {organization} ({merged['runs']} runs, "
+                    f"{merged['cycles']} cycles): {cells or 'no cycles'}"
+                )
+                for site, per_state in merged["sites"].items():
+                    site_cells = " ".join(
+                        f"{state}={count}"
+                        for state, count in per_state.items()
+                    )
+                    lines.append(f"    {site}: {site_cells}")
         if len(self.outcomes) < self.expected_runs():
             lines.append(
                 f"partial: {len(self.outcomes)}/{self.expected_runs()} runs"
@@ -261,6 +325,64 @@ class CampaignReport:
         if self.interrupted:
             lines.append("interrupted: true")
         return "\n".join(lines)
+
+
+#: Versioned schema tag of :func:`campaign_summary_dict` / ``--summary-json``.
+SUMMARY_SCHEMA = "repro.faults.summary/1"
+
+
+def campaign_summary_dict(report: CampaignReport) -> dict:
+    """Machine-readable campaign summary (the ``--summary-json`` body).
+
+    Every key except ``engine`` is part of the deterministic result
+    surface — byte-identical across worker counts, retries, and resume
+    boundaries once serialized with sorted keys.  ``engine`` carries the
+    execution telemetry (retry counters, worker utilization, wall time)
+    that used to be stderr/Prometheus-only; it describes *this
+    execution* and legitimately varies between invocations, which is why
+    it lives under its own clearly-non-deterministic key instead of
+    leaking into the totals."""
+    cfg = report.config
+    summary: dict = {
+        "schema": SUMMARY_SCHEMA,
+        "config": {
+            "seed": cfg.seed,
+            "runs": cfg.runs,
+            "cycles": cfg.cycles,
+            "organizations": list(cfg.organizations),
+            "fault_kinds": list(cfg.fault_kinds),
+            "policy": cfg.policy,
+            "read_timeout": cfg.read_timeout,
+            "deadlock_window": cfg.deadlock_window,
+            "profile": cfg.profile,
+        },
+        "expected_runs": report.expected_runs(),
+        "completed_runs": len(report.outcomes),
+        "interrupted": report.interrupted,
+        "totals": report.by_classification(),
+        "by_kind": report.by_kind(),
+        "outcomes": [outcome.to_json() for outcome in report.outcomes],
+        "profile": report.profile_by_organization() or None,
+        "engine": None,
+    }
+    if report.engine is not None:
+        engine = report.engine
+        summary["engine"] = {
+            **engine.counters(),
+            "workers": engine.workers,
+            "wall_seconds": round(engine.wall_seconds, 6),
+            "utilization": round(engine.utilization, 6),
+            "degraded_serial": engine.degraded_serial,
+            "stopped": engine.stopped,
+        }
+    return summary
+
+
+def dumps_campaign_summary(report: CampaignReport) -> str:
+    return (
+        json.dumps(campaign_summary_dict(report), sort_keys=True, indent=2)
+        + "\n"
+    )
 
 
 def _trace_rounds(sim) -> dict[str, list[tuple]]:
@@ -374,6 +496,7 @@ def build_run_specs(
                         "policy": config.policy,
                         "read_timeout": config.read_timeout,
                         "deadlock_window": config.deadlock_window,
+                        "profile": config.profile,
                         "golden": golden,
                     },
                 )
@@ -406,6 +529,7 @@ def run_one(payload: dict) -> dict:
             faults.append(fault)
     injector = FaultInjector(faults).attach(sim)
     traced = _trace_rounds(sim)
+    profiler = sim.attach_profiler() if payload.get("profile") else None
     watchdog = Watchdog(
         read_timeout=payload["read_timeout"],
         deadlock_window=payload["deadlock_window"],
@@ -427,6 +551,21 @@ def run_one(payload: dict) -> dict:
     else:
         classification = Classification.CLEAN
 
+    profile: Optional[dict] = None
+    if profiler is not None:
+        # The worker ships only the ledger's aggregate axes back through
+        # the result pipe/journal: enough for the campaign heatmap and
+        # JSON-pure by construction.
+        from ..obs.profiler import breakdown_dict
+
+        breakdown = breakdown_dict(profiler)
+        profile = {
+            "cycles": breakdown["cycles"],
+            "states": breakdown["states"],
+            "sites": breakdown["sites"],
+            "conservation_ok": breakdown["conservation"]["ok"],
+        }
+
     return RunOutcome(
         organization=payload["organization"],
         index=payload["index"],
@@ -437,6 +576,7 @@ def run_one(payload: dict) -> dict:
         watchdog_events=tuple(e.describe() for e in watchdog.events),
         degradations=tuple(watchdog.degradations),
         error=error,
+        profile=profile,
     ).to_json()
 
 
@@ -560,6 +700,25 @@ def _faults_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--report", metavar="FILE", help="also write the report to FILE"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "attach the cycle-attribution profiler to every run and "
+            "append the merged bottleneck heatmap (organization × wait "
+            "state) to the report — byte-identical across worker counts "
+            "and resume boundaries (see docs/profiling.md)"
+        ),
+    )
+    parser.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help=(
+            "write a machine-readable campaign summary to FILE: "
+            "deterministic totals/outcomes/heatmap plus the engine's "
+            "execution telemetry under the non-deterministic 'engine' key"
+        ),
+    )
     engine = parser.add_argument_group(
         "engine", "fault-tolerant execution (see docs/campaign.md)"
     )
@@ -679,6 +838,7 @@ def faults_main(argv: Optional[list] = None) -> int:
         policy=args.policy,
         read_timeout=args.read_timeout,
         deadlock_window=args.deadlock_window,
+        profile=args.profile,
     )
     engine_config = EngineConfig(
         workers=args.workers,
@@ -718,6 +878,10 @@ def faults_main(argv: Optional[list] = None) -> int:
         with open(args.engine_metrics, "w") as handle:
             handle.write(metrics.render_prometheus())
         print(f"wrote engine metrics to {args.engine_metrics}")
+    if args.summary_json:
+        with open(args.summary_json, "w") as handle:
+            handle.write(dumps_campaign_summary(report))
+        print(f"wrote campaign summary to {args.summary_json}")
     if args.report:
         with open(args.report, "w") as handle:
             handle.write(text + "\n")

@@ -150,6 +150,9 @@ class FaultInjector:
                 dependency_number=fault.dependency_number,
                 base_address=fault.base_address,
             )
+            # Guard state changed behind the controller's back:
+            # invalidate cached wait classifications (profiler seam).
+            controller.classify_epoch += 1
         except KeyError:
             return
         self.log.append((fault.at_cycle, fault.describe()))

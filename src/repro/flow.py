@@ -350,6 +350,12 @@ class Simulation:
 
         return Telemetry(**kwargs).attach(self)
 
+    def attach_profiler(self, **kwargs):
+        """Attach profiling telemetry and return the
+        :class:`repro.obs.CycleProfiler` (the telemetry object lands on
+        ``self.telemetry``; extra kwargs configure it)."""
+        return self.attach_telemetry(profile=True, **kwargs).profiler
+
 
 #: Simulation kernel backends (see ``docs/simulation_kernels.md``):
 #: "reference" ticks every component every cycle; "wheel" is the

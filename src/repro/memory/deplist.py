@@ -65,6 +65,10 @@ class DependencyList:
     bram: str
     entries: list[DependencyEntry] = field(default_factory=list)
     address_bits: int = 9  # 512-word BRAM
+    #: bumped whenever the *configuration* (not the runtime counters)
+    #: changes — i.e. on :meth:`corrupt` — so entry-resolution caches
+    #: can tell when CAM matches may have moved
+    config_version: int = 0
 
     @classmethod
     def build(
@@ -206,6 +210,7 @@ class DependencyList:
             entry.dependency_number = max(0, dependency_number)
         if base_address is not None:
             entry.base_address = base_address
+        self.config_version += 1
         return original
 
     # -- the guard protocol (§3.1 access rules) -----------------------------------

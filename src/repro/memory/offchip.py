@@ -97,6 +97,14 @@ class OffchipController(MemoryController):
                 self._current = None
         return results
 
+    # -- wait attribution (profiler seam) ----------------------------------------------
+
+    def classify_wait(self, request: MemRequest) -> tuple[str, str, str]:
+        """Every blocked cycle at the external tier is latency: either
+        the request owns the in-flight multi-cycle transaction or it is
+        serialized behind one on the single port."""
+        return ("offchip-latency", self.bram.name, request.port)
+
     # -- quiescence (fast-kernel wake contract) ---------------------------------------
 
     def next_wake(self, cycle: int):

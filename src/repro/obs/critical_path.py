@@ -1,0 +1,289 @@
+"""Critical-path extraction over the dependency span graph.
+
+The PR-2 span assembler records every produce-consume cycle: the
+producer's granted write opens a span, each consumer's granted read
+attaches to it.  This module turns those spans into a weighted event
+DAG and extracts the longest chain — the sequence of dependent grants
+that *explains* the end-to-end makespan; everything off it had slack.
+
+Nodes are grant events:
+
+* one **write** node per span (the producer's granted write);
+* one **read** node per consumer read (the consumer's granted read).
+
+Edges, weighted in cycles (always non-negative — edges follow time):
+
+* **produce** — write → each of its reads, weight the post-write
+  latency (the paper's §3.1/§3.2 determinism quantity).  Each produce
+  edge also carries the wait decomposition: ``wait_before_data``
+  (cycles the read was issued before the data existed — profiler state
+  ``blocked-read``) and ``wait_after_data`` (cycles between data ready
+  and the grant — ``arbitration-loss`` territory);
+* **thread-order** — consecutive grant events of one thread, weight
+  the cycle gap (the thread's own serialization).
+
+The longest path is computed by DP over the (cycle, kind, name)
+topological order with deterministic tie-breaks, so the report is
+byte-stable.  Per-edge slack is ``critical_length - (longest_to(u) +
+weight + longest_from(v))`` — zero on the critical path, positive
+elsewhere; the report lists the minimum-slack off-path edges, the next
+bottlenecks after the critical chain is shortened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PathEvent:
+    """One grant event in the span DAG (node identity + sort order)."""
+
+    cycle: int
+    #: 0 = write, 1 = read — writes sort before same-cycle reads
+    rank: int
+    thread: str
+    bram: str
+    dep_id: str
+    instance: int
+
+    @property
+    def kind(self) -> str:
+        return "write" if self.rank == 0 else "read"
+
+    @property
+    def sort_key(self) -> tuple:
+        return (
+            self.cycle,
+            self.rank,
+            self.thread,
+            self.bram,
+            self.dep_id,
+            self.instance,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.thread} {self.kind} {self.bram}/{self.dep_id}"
+            f"#{self.instance} @{self.cycle}"
+        )
+
+
+@dataclass(frozen=True)
+class PathEdge:
+    """A weighted dependency between two grant events."""
+
+    source: PathEvent
+    target: PathEvent
+    weight: int
+    kind: str  # "produce" | "thread-order"
+    #: produce edges: cycles the read waited before the data existed
+    wait_before_data: int = 0
+    #: produce edges: cycles between data-ready and the read's grant
+    wait_after_data: int = 0
+
+
+def build_event_graph(spans) -> tuple[list[PathEvent], list[PathEdge]]:
+    """Nodes and edges of the span DAG, deterministically ordered."""
+    events: list[PathEvent] = []
+    edges: list[PathEdge] = []
+    per_thread: dict[str, list[PathEvent]] = {}
+
+    for span in spans:
+        write = PathEvent(
+            cycle=span.write_cycle,
+            rank=0,
+            thread=span.producer,
+            bram=span.bram,
+            dep_id=span.dep_id,
+            instance=span.instance,
+        )
+        events.append(write)
+        per_thread.setdefault(span.producer, []).append(write)
+        for read in span.reads:
+            node = PathEvent(
+                cycle=read.grant_cycle,
+                rank=1,
+                thread=read.client,
+                bram=span.bram,
+                dep_id=span.dep_id,
+                instance=span.instance,
+            )
+            events.append(node)
+            per_thread.setdefault(read.client, []).append(node)
+            edges.append(
+                PathEdge(
+                    source=write,
+                    target=node,
+                    weight=max(0, read.grant_cycle - span.write_cycle),
+                    kind="produce",
+                    wait_before_data=max(
+                        0, span.write_cycle - read.issue_cycle
+                    ),
+                    wait_after_data=max(
+                        0,
+                        read.grant_cycle
+                        - max(read.issue_cycle, span.write_cycle),
+                    ),
+                )
+            )
+
+    events.sort(key=lambda e: e.sort_key)
+    for thread in sorted(per_thread):
+        chain = sorted(per_thread[thread], key=lambda e: e.sort_key)
+        for source, target in zip(chain, chain[1:]):
+            edges.append(
+                PathEdge(
+                    source=source,
+                    target=target,
+                    weight=max(0, target.cycle - source.cycle),
+                    kind="thread-order",
+                )
+            )
+    edges.sort(key=lambda e: (e.source.sort_key, e.target.sort_key, e.kind))
+    return events, edges
+
+
+def extract_critical_path(spans, makespan: Optional[int] = None) -> dict:
+    """The longest weighted chain through the span DAG, with slack.
+
+    ``makespan`` is the reference duration for the coverage ratio
+    (defaults to the cycle range the events themselves cover).
+    """
+    events, edges = build_event_graph(spans)
+    if not events:
+        return {
+            "events": 0,
+            "edges": 0,
+            "makespan": makespan or 0,
+            "critical_cycles": 0,
+            "coverage": 0.0,
+            "path": [],
+            "near_critical_edges": [],
+        }
+
+    incoming: dict[PathEvent, list[PathEdge]] = {}
+    outgoing: dict[PathEvent, list[PathEdge]] = {}
+    for edge in edges:
+        incoming.setdefault(edge.target, []).append(edge)
+        outgoing.setdefault(edge.source, []).append(edge)
+
+    # Forward DP in topological (= sort-key) order.
+    longest_to: dict[PathEvent, int] = {}
+    best_in: dict[PathEvent, Optional[PathEdge]] = {}
+    for node in events:
+        best, via = 0, None
+        for edge in incoming.get(node, []):
+            total = longest_to[edge.source] + edge.weight
+            if total > best or (
+                total == best
+                and via is not None
+                and edge.source.sort_key < via.source.sort_key
+            ):
+                best, via = total, edge
+        longest_to[node] = best
+        best_in[node] = via
+
+    # Backward DP for slack.
+    longest_from: dict[PathEvent, int] = {}
+    for node in reversed(events):
+        best = 0
+        for edge in outgoing.get(node, []):
+            best = max(best, edge.weight + longest_from[edge.target])
+        longest_from[node] = best
+
+    terminal = max(events, key=lambda n: (longest_to[n], n.sort_key))
+    critical = longest_to[terminal]
+
+    path_edges: list[PathEdge] = []
+    node = terminal
+    while best_in[node] is not None:
+        edge = best_in[node]
+        path_edges.append(edge)
+        node = edge.source
+    path_edges.reverse()
+    on_path = set()
+    for edge in path_edges:
+        on_path.add((edge.source.sort_key, edge.target.sort_key, edge.kind))
+
+    if makespan is None:
+        makespan = events[-1].cycle - events[0].cycle
+
+    near: list[dict] = []
+    for edge in edges:
+        key = (edge.source.sort_key, edge.target.sort_key, edge.kind)
+        if key in on_path:
+            continue
+        slack = critical - (
+            longest_to[edge.source] + edge.weight + longest_from[edge.target]
+        )
+        near.append(
+            {
+                "source": edge.source.describe(),
+                "target": edge.target.describe(),
+                "kind": edge.kind,
+                "weight": edge.weight,
+                "slack": slack,
+            }
+        )
+    near.sort(key=lambda item: (item["slack"], item["source"], item["target"]))
+
+    # The path renders as its starting event plus each traversed edge.
+    start = path_edges[0].source if path_edges else terminal
+    path = [{"event": start.describe()}]
+    for edge in path_edges:
+        path.append(
+            {
+                "event": edge.target.describe(),
+                "via": edge.kind,
+                "weight": edge.weight,
+                "wait_before_data": edge.wait_before_data,
+                "wait_after_data": edge.wait_after_data,
+            }
+        )
+
+    return {
+        "events": len(events),
+        "edges": len(edges),
+        "makespan": makespan,
+        "critical_cycles": critical,
+        "coverage": round(critical / makespan, 6) if makespan else 0.0,
+        "path": path,
+        "near_critical_edges": near,
+    }
+
+
+def render_critical_path(report: dict, top: int = 5) -> str:
+    """Deterministic text rendering of an extracted critical path."""
+    lines = [
+        (
+            f"critical path: {report['critical_cycles']} of "
+            f"{report['makespan']} makespan cycles "
+            f"(coverage {report['coverage']:.3f}, "
+            f"{report['events']} events, {report['edges']} edges)"
+        )
+    ]
+    for index, step in enumerate(report["path"]):
+        if index == 0:
+            lines.append(f"  start {step['event']}")
+        else:
+            extra = ""
+            if step["via"] == "produce":
+                extra = (
+                    f" (before-data {step['wait_before_data']}, "
+                    f"after-data {step['wait_after_data']})"
+                )
+            lines.append(
+                f"  +{step['weight']:<4} {step['via']:<12} -> "
+                f"{step['event']}{extra}"
+            )
+    near = report["near_critical_edges"][: max(0, top)]
+    if near:
+        lines.append(f"near-critical edges (min slack, top {len(near)}):")
+        for item in near:
+            lines.append(
+                f"  slack {item['slack']:<4} {item['kind']:<12} "
+                f"{item['source']} -> {item['target']}"
+            )
+    return "\n".join(lines) + "\n"

@@ -231,6 +231,101 @@ def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
         handle.write(dumps_chrome_trace(telemetry))
 
 
+# -- profiler trace --------------------------------------------------------------------
+
+#: pid of the profiler's wait-state track group.
+PROFILE_PID = 3
+
+
+def profile_chrome_trace(profiler) -> dict:
+    """Chrome-trace document of the attribution timeline: one "X" slice
+    per run-length segment on per-thread tracks, plus a per-state "C"
+    counter track sampled at every segment boundary.  Deterministic:
+    segments and boundaries derive purely from the ledger."""
+    from .attribution import NO_SITE, WAIT_STATES
+
+    threads = sorted(profiler.ledger.timelines)
+    thread_tid = {name: tid for tid, name in enumerate(threads, start=1)}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PROFILE_PID,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "wait-state attribution"},
+        }
+    ]
+    for name, tid in thread_tid.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PROFILE_PID,
+                "tid": tid,
+                "ts": 0,
+                "args": {"name": name},
+            }
+        )
+    boundaries: set[int] = set()
+    segments = []
+    for name in threads:
+        for segment in profiler.ledger.timelines[name]:
+            segments.append(segment)
+            boundaries.add(segment.start)
+            boundaries.add(segment.end)
+            args = {}
+            if segment.site != NO_SITE:
+                args = {"site": segment.site, "port": segment.port}
+            events.append(
+                {
+                    "name": segment.state,
+                    "cat": "wait-state",
+                    "ph": "X",
+                    "pid": PROFILE_PID,
+                    "tid": thread_tid[name],
+                    "ts": segment.start,
+                    "dur": segment.length,
+                    "args": args,
+                }
+            )
+    for boundary in sorted(boundaries):
+        counts = {state: 0 for state in WAIT_STATES}
+        for segment in segments:
+            if segment.start <= boundary < segment.end:
+                counts[segment.state] += 1
+        events.append(
+            {
+                "name": "threads per wait state",
+                "ph": "C",
+                "pid": PROFILE_PID,
+                "tid": 0,
+                "ts": boundary,
+                "args": counts,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.profiler",
+            "cycles": profiler.cycles_observed,
+            "time_unit": "1 cycle = 1 us",
+        },
+    }
+
+
+def dumps_profile_chrome_trace(profiler) -> str:
+    document = profile_chrome_trace(profiler)
+    validate_chrome_trace(document)
+    return json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_profile_chrome_trace(profiler, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(dumps_profile_chrome_trace(profiler))
+
+
 # -- Prometheus ------------------------------------------------------------------------
 
 

@@ -45,6 +45,7 @@ class Telemetry:
         *,
         trace_level: str = "deps",
         wait_buckets: tuple = DEFAULT_BUCKETS,
+        profile: bool = False,
     ):
         if trace_level not in TRACE_LEVELS:
             raise ValueError(
@@ -52,6 +53,16 @@ class Telemetry:
             )
         self.trace_level = trace_level
         self._full = trace_level == "full"
+        #: cycle-attribution profiler (``profile=True``); None keeps the
+        #: traced hot path free of the per-thread classification work
+        self.profiler = None
+        #: pre-bound ``profiler.on_cycle`` (set at attach) — the hot
+        #: per-cycle dispatch
+        self._profiler_on_cycle = None
+        if profile:
+            from .profiler import CycleProfiler
+
+            self.profiler = CycleProfiler()
         self.wait_buckets = tuple(wait_buckets)
         self.events: list[TraceEvent] = []
         self.spans = SpanAssembler()
@@ -120,6 +131,13 @@ class Telemetry:
             for name, executor in self._executors.items()
         ]
         self._controller_items = list(self._controllers.items())
+        if self.profiler is not None:
+            # The profiler scans *top-level* controllers only (a fabric
+            # classifies on behalf of its banks), so it binds to the
+            # kernel, not to this object's bank-expanded registry.  The
+            # pre-bound method saves two attribute loads per cycle.
+            self.profiler.bind(kernel)
+            self._profiler_on_cycle = self.profiler.on_cycle
         self._discover_dependencies()
         return self
 
@@ -356,6 +374,9 @@ class Telemetry:
             count = len(controller.blocked)
             if count > peaks.get(bram, 0):
                 peaks[bram] = count
+        profiler_on_cycle = self._profiler_on_cycle
+        if profiler_on_cycle is not None:
+            profiler_on_cycle(cycle, kernel)
 
     def on_idle_cycles(self, first_cycle: int, count: int, kernel) -> None:
         """Fast-kernel batch notification for a skipped idle stretch.
@@ -363,10 +384,14 @@ class Telemetry:
         The skipped cycles ``first_cycle .. first_cycle + count - 1``
         are provably quiescent: no grants, no round completions, and a
         frozen blocked set that :meth:`on_cycle` already sampled at the
-        last executed cycle.  The only per-cycle accumulator that moves
-        during idle time is the cycle count itself.
+        last executed cycle.  The only per-cycle accumulators that move
+        during idle time are the cycle count and — when profiling — the
+        attribution ledger, which books the frozen classification in
+        one batch (see ``CycleProfiler.on_idle_cycles``).
         """
         self.cycles_observed += count
+        if self.profiler is not None:
+            self.profiler.on_idle_cycles(first_cycle, count, kernel)
 
     # -- registry materialization ------------------------------------------------------
 
@@ -601,6 +626,20 @@ class Telemetry:
                                 bank=bank,
                                 stat=stat,
                             )
+
+        if self.profiler is not None:
+            wait_states = registry.counter(
+                "sim_wait_state_cycles_total",
+                "Thread cycles attributed to each exclusive wait state "
+                "(see docs/profiling.md)",
+                labels=("thread", "state"),
+            )
+            for thread, states in sorted(
+                self.profiler.ledger.thread_state_totals().items()
+            ):
+                for state, count in sorted(states.items()):
+                    if count:
+                        wait_states.inc(count, thread=thread, state=state)
 
         outstanding = registry.gauge(
             "sim_dependency_outstanding",

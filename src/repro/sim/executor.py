@@ -274,6 +274,11 @@ class ThreadExecutor:
         #: phase-insensitive snapshot golden-trace comparison diffs
         self.last_round_env: Optional[dict[str, int]] = None
         self._waiting_read: Optional[MemReadOp] = None
+        #: last request constructed per micro-op (keyed by op identity):
+        #: a stalled thread re-asserts the same request lines every
+        #: cycle, so reusing the frozen object skips re-construction —
+        #: and gives observers a stable identity across stall cycles
+        self._req_cache: dict[int, MemRequest] = {}
         self._op_index = 0
         self._blocked = False
 
@@ -407,30 +412,48 @@ class ThreadExecutor:
 
     def _submit_read(self, op: MemReadOp) -> None:
         controller = self._controllers[op.bram]
-        controller.submit(
-            MemRequest(
+        port = self._port_for(op)
+        address = self._address_of(op)
+        request = self._req_cache.get(id(op))
+        if (
+            request is None
+            or request.port != port
+            or request.address != address
+        ):
+            request = MemRequest(
                 client=self.fsm.thread,
-                port=self._port_for(op),
-                address=self._address_of(op),
+                port=port,
+                address=address,
                 write=False,
                 dep_id=op.dep_id,
             )
-        )
+            self._req_cache[id(op)] = request
+        controller.submit(request)
         self._waiting_read = op
         self._blocked = True  # resolved in phase 2 if granted
 
     def _submit_write(self, op: MemWriteOp) -> None:
         controller = self._controllers[op.bram]
-        controller.submit(
-            MemRequest(
+        port = self._port_for(op)
+        address = self._address_of(op)
+        data = self.evaluate(op.value_expr)
+        request = self._req_cache.get(id(op))
+        if (
+            request is None
+            or request.port != port
+            or request.address != address
+            or request.data != data
+        ):
+            request = MemRequest(
                 client=self.fsm.thread,
-                port=self._port_for(op),
-                address=self._address_of(op),
+                port=port,
+                address=address,
                 write=True,
-                data=self.evaluate(op.value_expr),
+                data=data,
                 dep_id=op.dep_id,
             )
-        )
+            self._req_cache[id(op)] = request
+        controller.submit(request)
         self._blocked = True
 
     def _try_receive(self, op: ReceiveOp, cycle: int) -> None:

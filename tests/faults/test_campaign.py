@@ -1,5 +1,7 @@
 """Campaign-level tests: classification, determinism, and the CLI."""
 
+import dataclasses
+import json
 from pathlib import Path
 
 import pytest
@@ -370,3 +372,57 @@ class TestCliRobustness:
         code = main(SMOKE_CLI)
         assert code == 130
         assert "interrupted before" in capsys.readouterr().err
+
+
+class TestProfiledCampaign:
+    """Campaign-wide bottleneck aggregation: ``--profile`` merges the
+    per-run attribution ledgers into a per-organization heatmap that is
+    part of the deterministic result surface."""
+
+    PROFILED = dataclasses.replace(SMOKE_CONFIG, profile=True, runs=6)
+
+    def test_heatmap_rendered_only_when_profiled(self):
+        profiled = run_campaign(self.PROFILED).render()
+        plain = run_campaign(SMOKE_CONFIG).render()
+        assert "bottleneck heatmap" in profiled
+        assert "bottleneck heatmap" not in plain
+
+    def test_parallel_profile_merge_matches_serial(self):
+        serial = run_campaign(self.PROFILED)
+        parallel = run_campaign(
+            self.PROFILED, engine=EngineConfig(workers=2)
+        )
+        assert serial.render() == parallel.render()
+        assert (
+            serial.profile_by_organization()
+            == parallel.profile_by_organization()
+        )
+
+    def test_merged_profile_conserves_campaign_cycles(self):
+        report = run_campaign(self.PROFILED)
+        merged = report.profile_by_organization()["arbitrated"]
+        assert merged["runs"] == self.PROFILED.runs
+        assert merged["cycles"] == self.PROFILED.runs * self.PROFILED.cycles
+        # Attribution conserves: state totals sum to an exact whole
+        # number of threads' worth of campaign cycles, and every
+        # site-attributed cycle appears in the state totals too.
+        per_state = sum(merged["states"].values())
+        threads, remainder = divmod(per_state, merged["cycles"])
+        assert remainder == 0 and threads >= 2
+        per_site = sum(
+            count
+            for per_state_cells in merged["sites"].values()
+            for count in per_state_cells.values()
+        )
+        assert per_site <= per_state
+
+    def test_summary_json_carries_profile_and_engine(self, capsys, tmp_path):
+        path = tmp_path / "summary.json"
+        code = main(
+            SMOKE_CLI + ["--profile", "--summary-json", str(path)]
+        )
+        assert code == 0
+        summary = json.loads(path.read_text())
+        assert summary["config"]["profile"] is True
+        assert summary["profile"]["arbitrated"]["runs"] == 4
+        assert summary["engine"]["workers"] == 1

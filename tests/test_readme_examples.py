@@ -37,11 +37,12 @@ class TestReadme:
         # Every CLI flag the README mentions must be real.
         from repro.__main__ import _parser
         from repro.faults.campaign import _faults_parser
+        from repro.obs.profile_cli import _profile_parser
 
         text = README.read_text()
         parser_flags = {
             option
-            for parser in (_parser(), _faults_parser())
+            for parser in (_parser(), _faults_parser(), _profile_parser())
             for action in parser._actions
             for option in action.option_strings
         }
