@@ -136,9 +136,9 @@ def test_campaign_parallel_speedup(benchmark):
         payload = json.loads(BENCH_JSON_PATH.read_text())
     except (OSError, ValueError):
         payload = {}
-    # Keep in lockstep with bench_sim_performance.BENCH_SCHEMA: /3 added
-    # the profiler overhead section.
-    payload["schema"] = "repro.bench.sim/3"
+    # Keep in lockstep with bench_sim_performance.BENCH_SCHEMA: /4 added
+    # the analytical-model predict section.
+    payload["schema"] = "repro.bench.sim/4"
     payload["campaign"] = {
         "workload": (
             f"chaos campaign: {RUNS} cpu-bound runs "

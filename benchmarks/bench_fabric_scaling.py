@@ -60,6 +60,11 @@ FIELDS = [
     "deps_routed",
 ]
 
+#: Versioned tag of the emitted CSV (column meanings are documented in
+#: docs/fabric.md, "CSV schema").  /2 added the leading ``#``-comment
+#: provenance row; readers must skip lines starting with ``#``.
+CSV_SCHEMA = "repro.bench.fabric_scaling/2"
+
 
 def run_point(organization: Organization, banks: int, cycles: int) -> dict:
     design = compile_design(
@@ -133,8 +138,15 @@ def run_scaling(banks=BANKS, cycles=CYCLES, workers: int = 1) -> list[dict]:
     return [result.value for result in report.results]
 
 
-def write_csv(rows: list[dict], path: str) -> None:
+def write_csv(rows: list[dict], path: str, cycles: int = CYCLES) -> None:
     with open(path, "w", newline="") as handle:
+        # Leading comment row: schema tag + workload provenance, so the
+        # artifact is self-describing (docs/fabric.md, "CSV schema").
+        handle.write(
+            f"# {CSV_SCHEMA}: multi_pair_source({PAIRS}, "
+            f"{CONSUMERS_PER_PAIR}), {cycles} cycles, dep_home=spread; "
+            "column meanings in docs/fabric.md\n"
+        )
         writer = csv.DictWriter(handle, fieldnames=FIELDS + ["seed"])
         writer.writeheader()
         for row in rows:
@@ -196,7 +208,7 @@ def main() -> None:
         tuple(arguments.banks), arguments.cycles, workers=arguments.workers
     )
     print(render(rows, arguments.cycles))
-    write_csv(rows, arguments.csv)
+    write_csv(rows, arguments.csv, arguments.cycles)
     print(f"wrote {arguments.csv}")
 
 

@@ -54,8 +54,9 @@ BASELINE_TOLERANCE = 0.80
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 #: Artifact schema: /3 added the ``profiler`` overhead section (see
-#: docs/profiling.md).
-BENCH_SCHEMA = "repro.bench.sim/3"
+#: docs/profiling.md); /4 added the ``predict`` section written by
+#: ``bench_predict.py`` (see docs/performance_model.md).
+BENCH_SCHEMA = "repro.bench.sim/4"
 
 #: The committed baseline, captured at import time — the tests below
 #: rewrite ``BENCH_sim.json``, so read it before any of them run.

@@ -10,22 +10,35 @@ parameters".  This example:
    future-work question: "the impact of large amount of data dependencies
    on the size of list");
 3. checks which Virtex-II Pro family member each configuration fits with
-   the full 5430-slice forwarding application around it.
+   the full 5430-slice forwarding application around it;
+4. runs a *predict-pruned* exploration: the analytical model
+   (:mod:`repro.model`, docs/performance_model.md) scores the whole
+   organization x banks x traffic grid in microseconds, and only the
+   predicted Pareto frontier plus a safety margin is simulated.
 
-The sweep and the device-fit matrix both ride the fault-tolerant
-campaign engine (:mod:`repro.campaign`): each point is one independent
-run, so ``--workers N`` fans the exploration across crash-isolated
-processes while the merged tables stay byte-identical to a serial run.
+The sweep, the device-fit matrix, and the pruned exploration all ride
+the fault-tolerant campaign engine (:mod:`repro.campaign`): each point
+is one independent run, so ``--workers N`` fans the exploration across
+crash-isolated processes while the merged tables stay byte-identical to
+a serial run.
 
 Run:  python examples/design_space_exploration.py [--workers N]
+      python examples/design_space_exploration.py --predict-prune \\
+          [--margin 0.15]        # just the model-pruned exploration
 """
 
 import argparse
 
-from repro.campaign import EngineConfig, RunSpec, run_matrix
+from repro.campaign import (
+    EngineConfig,
+    RunSpec,
+    predict_pruned_matrix,
+    run_matrix,
+)
 from repro.core import DesignConstraints, Organization, recommend
 from repro.flow import compile_design
 from repro.fpga import VIRTEX2PRO_FAMILY, estimate_area, estimate_timing
+from repro.model import DEFAULT_MARGIN, area_slices, predict
 from repro.net import APP_TOTAL_SLICES, forwarding_source
 from repro.report import Table
 from repro.rtl import WrapperParams, generate_arbitrated_wrapper
@@ -129,6 +142,112 @@ def device_fit(workers: int = 1) -> None:
     print(table.render())
 
 
+#: The pruned exploration grid: every organization, on-fabric bank
+#: counts, sparse and near-saturated traffic.  Horizons are sized for a
+#: demo (the validation grid in ``repro.model.validate`` uses longer
+#: sparse runs to converge the realized Bernoulli rate).
+PRUNE_BANKS = (1, 4)
+PRUNE_RATES = (0.02, 0.9)
+PRUNE_CYCLES = {0.02: 8_000, 0.9: 2_000}
+
+
+def _point_parameters(payload: dict):
+    """Model parameters for one grid payload (compile + extract)."""
+    design = compile_design(
+        forwarding_source(2),
+        name=f"dse_{payload['organization']}_{payload['banks']}",
+        organization=Organization(payload["organization"]),
+        num_banks=payload["banks"],
+    )
+    return design.model_parameters(traffic_rate=payload["rate"])
+
+
+def dse_model_objectives(payload: dict) -> tuple:
+    """Analytical minimization objectives for one grid point: the tuple
+    :func:`repro.campaign.predict_pruned_matrix` prunes on."""
+    params = _point_parameters(payload)
+    prediction = predict(params)
+    return (
+        -prediction.throughput,
+        prediction.consumer_wait,
+        float(area_slices(params)),
+    )
+
+
+def dse_point_task(payload: dict) -> dict:
+    """Simulate one *kept* grid point (campaign-engine task)."""
+    from repro.model.validate import simulate_config
+
+    prediction, observed = simulate_config(
+        forwarding_source(2),
+        Organization(payload["organization"]),
+        payload["banks"],
+        payload["rate"],
+        payload["cycles"],
+    )
+    return {
+        "throughput": observed["throughput"],
+        "consumer_wait": observed["consumer_wait"],
+    }
+
+
+def predict_prune_dse(
+    workers: int = 1, margin: float = DEFAULT_MARGIN
+) -> None:
+    print("\n=== predict-pruned exploration (model scores, simulator confirms) ===")
+    specs = []
+    for organization in sorted(o.value for o in Organization):
+        for banks in PRUNE_BANKS:
+            for rate in PRUNE_RATES:
+                specs.append(
+                    RunSpec(
+                        index=len(specs),
+                        payload={
+                            "organization": organization,
+                            "banks": banks,
+                            "rate": rate,
+                            "cycles": PRUNE_CYCLES[rate],
+                        },
+                    )
+                )
+    report = predict_pruned_matrix(
+        dse_point_task,
+        specs,
+        dse_model_objectives,
+        EngineConfig(workers=workers),
+        margin=margin,
+        exact=(2,),  # slice area carries no model error
+    )
+    print(
+        f"model scored {report.total} points; simulated "
+        f"{len(report.kept)} ({report.simulated_fraction:.0%}), "
+        f"skipped {len(report.skipped)} (margin {margin})"
+    )
+    table = Table(
+        "kept points: predicted vs simulated",
+        ["org", "banks", "rate", "thr (model)", "thr (sim)",
+         "wait (model)", "wait (sim)"],
+    )
+    by_index = {result.index: result for result in report.engine.results}
+    for spec in specs:
+        if spec.index not in by_index:
+            continue
+        result = by_index[spec.index]
+        if not result.ok:
+            raise RuntimeError(f"point #{result.index}: {result.error}")
+        neg_throughput, wait, __ = report.objectives[spec.index]
+        table.add_row(
+            spec.payload["organization"],
+            spec.payload["banks"],
+            spec.payload["rate"],
+            f"{-neg_throughput:.4f}",
+            f"{result.value['throughput']:.4f}",
+            f"{wait:.1f}",
+            f"{result.value['consumer_wait']:.1f}",
+        )
+    print(table.render())
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -137,10 +256,27 @@ def main() -> None:
         default=1,
         help="fan exploration points across crash-isolated worker processes",
     )
+    parser.add_argument(
+        "--predict-prune",
+        action="store_true",
+        help="run only the model-pruned exploration (section 4)",
+    )
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=DEFAULT_MARGIN,
+        help="predict-prune safety margin (default: %(default)s)",
+    )
     arguments = parser.parse_args()
+    if arguments.predict_prune:
+        predict_prune_dse(
+            workers=arguments.workers, margin=arguments.margin
+        )
+        return
     advisor_demo()
     deplist_sweep(workers=arguments.workers)
     device_fit(workers=arguments.workers)
+    predict_prune_dse(workers=arguments.workers, margin=arguments.margin)
 
 
 if __name__ == "__main__":

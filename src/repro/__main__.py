@@ -10,6 +10,8 @@ Examples::
     python -m repro design.hic --simulate 1000 --vcd trace.vcd
     python -m repro faults --seed 7 --runs 8        # chaos campaign
     python -m repro profile design.hic --flame f.svg  # cycle attribution
+    python -m repro predict design.hic --rate 0.9   # analytical model
+    python -m repro predict --validate              # model vs simulator
 """
 
 from __future__ import annotations
@@ -219,6 +221,12 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.profile_cli import profile_main
 
         return profile_main(argv[1:])
+    if argv and argv[0] == "predict":
+        # Sub-tool: analytical performance model and model-pruned DSE
+        # (see docs/performance_model.md).
+        from .model.cli import predict_main
+
+        return predict_main(argv[1:])
     args = _parser().parse_args(argv)
     try:
         with open(args.source) as handle:

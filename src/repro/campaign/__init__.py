@@ -14,7 +14,10 @@ boundaries.
 * :mod:`~repro.campaign.engine` — the scheduler/isolator/merger;
 * :mod:`~repro.campaign.journal` — the JSONL checkpoint store;
 * :mod:`~repro.campaign.worker` — worker entry point and chaos hooks;
-* :mod:`~repro.campaign.tasks` — importable demo tasks.
+* :mod:`~repro.campaign.tasks` — importable demo tasks;
+* :mod:`~repro.campaign.prune` — predict-pruned matrices: score every
+  point with the analytical model (:mod:`repro.model`) and simulate
+  only the predicted Pareto frontier plus a safety margin.
 """
 
 from .engine import (
@@ -31,6 +34,7 @@ from .engine import (
     run_matrix,
 )
 from .journal import JOURNAL_SCHEMA, JournalError, JournalWriter, read_journal
+from .prune import PruneReport, predict_pruned_matrix
 from .worker import CHAOS_KINDS
 
 __all__ = [
@@ -49,5 +53,7 @@ __all__ = [
     "JournalError",
     "JournalWriter",
     "read_journal",
+    "PruneReport",
+    "predict_pruned_matrix",
     "CHAOS_KINDS",
 ]

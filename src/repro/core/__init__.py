@@ -30,6 +30,7 @@ from .errors import (
     AllocationError,
     ControllerError,
     GuardViolationError,
+    ParameterError,
     ProtocolError,
     RuntimeDeadlockError,
     SimulationTimeout,
@@ -56,6 +57,7 @@ __all__ = [
     "ControllerError",
     "ControllerStats",
     "GuardViolationError",
+    "ParameterError",
     "ProtocolError",
     "RuntimeDeadlockError",
     "SimulationTimeout",

@@ -148,6 +148,31 @@ class SimulationTimeout(ControllerError):
         self.wall_seconds = wall_seconds
 
 
+class ParameterError(ControllerError, ValueError):
+    """A model or configuration parameter is out of its legal range.
+
+    Raised by the analytical performance model (:mod:`repro.model`) and
+    the ``predict`` CLI when an input is structurally impossible — a
+    non-positive bank count, a negative latency, a traffic rate outside
+    [0, 1].  Carries the offending parameter name and value so callers
+    (and CI logs) can point at the exact field instead of re-parsing a
+    message string.
+    """
+
+    kind = "parameter-error"
+
+    def __init__(self, message: str, *, parameter=None, value=None, **coords):
+        super().__init__(message, **coords)
+        self.parameter = parameter
+        self.value = value
+
+    def describe(self) -> str:
+        base = super().describe()
+        if self.parameter is None:
+            return base
+        return f"{base} (parameter={self.parameter}, value={self.value!r})"
+
+
 class RuntimeDeadlockError(ControllerError):
     """The system-level watchdog saw no executor progress while guarded
     requests stayed blocked — the dynamic complement of the static check in

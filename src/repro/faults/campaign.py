@@ -58,6 +58,7 @@ import argparse
 import enum
 import hashlib
 import json
+import math
 import random
 import sys
 from dataclasses import dataclass, field
@@ -448,6 +449,27 @@ def _compile(source: str, organization: str):
     )
 
 
+def model_read_timeout(source, organizations, *, slack: float = 3.0) -> int:
+    """Watchdog read-timeout derived from the analytical model.
+
+    The watchdog must distinguish a consumer *legitimately* parked on a
+    guarded read from one a fault has hung.  The model's saturated round
+    (:func:`repro.model.saturated_round`) bounds the legitimate wait, so
+    the worst predicted consumer wait across the campaign's
+    organizations — padded by ``slack`` for fault-induced delay the
+    campaign still wants classified as recovered, not tripped — makes a
+    principled ``--auto-timeout`` default instead of a hand-tuned cycle
+    count.
+    """
+    from ..model import extract_parameters, saturated_round
+
+    worst = 0.0
+    for organization in organizations:
+        params = extract_parameters(_compile(source, organization))
+        worst = max(worst, saturated_round(params).consumer_wait)
+    return max(1, math.ceil(worst * slack))
+
+
 def run_seed(config: CampaignConfig, org_index: int, index: int) -> int:
     """The per-run RNG seed: a pure function of campaign seed and run
     coordinates, never of shared RNG state — what keeps faults identical
@@ -689,6 +711,16 @@ def _faults_parser() -> argparse.ArgumentParser:
         metavar="CYCLES",
     )
     parser.add_argument(
+        "--auto-timeout",
+        action="store_true",
+        help=(
+            "derive --read-timeout from the analytical performance "
+            "model: worst predicted saturated consumer wait across the "
+            "campaign's organizations, padded 3x (overrides "
+            "--read-timeout; see docs/performance_model.md)"
+        ),
+    )
+    parser.add_argument(
         "--deadlock-window",
         type=int,
         default=CONFIG_DEFAULTS.deadlock_window,
@@ -829,6 +861,14 @@ def faults_main(argv: Optional[list] = None) -> int:
         except OSError as error:
             print(f"error: cannot read {args.source}: {error}", file=sys.stderr)
             return 2
+    read_timeout = args.read_timeout
+    if args.auto_timeout:
+        read_timeout = model_read_timeout(source, organizations)
+        print(
+            f"auto-timeout: model-derived read timeout = "
+            f"{read_timeout} cycles",
+            file=sys.stderr,
+        )
     config = CampaignConfig(
         seed=args.seed,
         runs=args.runs,
@@ -836,7 +876,7 @@ def faults_main(argv: Optional[list] = None) -> int:
         organizations=organizations,
         fault_kinds=kinds,
         policy=args.policy,
-        read_timeout=args.read_timeout,
+        read_timeout=read_timeout,
         deadlock_window=args.deadlock_window,
         profile=args.profile,
     )

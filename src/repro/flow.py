@@ -154,6 +154,15 @@ class CompiledDesign:
             self.checked.dependencies, self.checked.program.thread_names()
         )
 
+    def model_parameters(self, **overrides):
+        """Extract the analytical performance model's compile-time
+        parameters (:class:`repro.model.ModelParameters`) from this
+        design; keyword overrides set the deployment fields (traffic
+        rate, off-chip latency).  See docs/performance_model.md."""
+        from .model import extract_parameters  # deferred: imports us back
+
+        return extract_parameters(self, **overrides)
+
 
 def _wrapper_params(
     dependencies: list[Dependency], deplist_entries: int

@@ -1,0 +1,75 @@
+"""Analytical performance model: closed-form prediction and instant DSE.
+
+The paper's core claim is that memory-centric synchronization cost is
+set by a small number of compile-time parameters — organization,
+consumer count, loop shapes, fabric configuration, traffic.  This
+package turns that claim into an executable artifact:
+
+* :mod:`~repro.model.parameters` — :class:`ModelParameters` and its
+  extraction from a compiled design (FSM loop analysis);
+* :mod:`~repro.model.organizations` — per-organization saturated-round
+  closed forms (period, per-thread wait-state booking);
+* :mod:`~repro.model.fabric` — crossbar/serialization terms and the
+  memoized bridge into the ``fpga`` area model;
+* :mod:`~repro.model.predict` — end metrics (throughput, consumer
+  wait, end-to-end latency, wait-state fractions) at a traffic rate;
+* :mod:`~repro.model.validate` — replay against the simulator with
+  signed per-metric errors under a stated bound;
+* :mod:`~repro.model.pareto` — analytical grid sweeps, Pareto
+  frontier, and predict-prune selection;
+* :mod:`~repro.model.cli` — ``python -m repro predict``.
+
+Accuracy envelope and derivations: docs/performance_model.md.
+"""
+
+from .fabric import area_slices, crossbar_transit, serialization_bound
+from .organizations import RoundModel, saturated_round
+from .parameters import ModelParameters, extract_parameters
+from .pareto import (
+    DEFAULT_MARGIN,
+    SweepPoint,
+    SweepResult,
+    evaluate_grid,
+    frontier_objectives,
+    pareto_frontier,
+    prune,
+    prune_objectives,
+    run_sweep,
+    sweep_grid,
+)
+from .predict import PREDICTION_SCHEMA, Prediction, predict
+from .validate import (
+    ERROR_BOUND,
+    VALIDATION_SCHEMA,
+    MetricError,
+    ValidationReport,
+    validate,
+)
+
+__all__ = [
+    "ModelParameters",
+    "extract_parameters",
+    "RoundModel",
+    "saturated_round",
+    "area_slices",
+    "crossbar_transit",
+    "serialization_bound",
+    "Prediction",
+    "predict",
+    "PREDICTION_SCHEMA",
+    "ValidationReport",
+    "MetricError",
+    "validate",
+    "ERROR_BOUND",
+    "VALIDATION_SCHEMA",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_grid",
+    "evaluate_grid",
+    "pareto_frontier",
+    "frontier_objectives",
+    "prune",
+    "prune_objectives",
+    "run_sweep",
+    "DEFAULT_MARGIN",
+]

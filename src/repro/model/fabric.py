@@ -1,0 +1,78 @@
+"""Fabric-side inputs to the model: crossbar terms and the area bridge.
+
+Performance-wise the fabric contributes two closed-form terms (both
+folded into :mod:`~repro.model.organizations`): one link transit per
+memory access on a thread's loop, and the bank-parallel serialization
+bound ``grants / (banks x batch)``.  This module owns the **area**
+coupling: a sweep point's third Pareto objective is real slice area, and
+the model must not pay netlist-generation cost per evaluated
+configuration (the evaluation budget is ~10 us/config).  Area only
+depends on the *structural* axes — organization, consumer count,
+dependency-list capacity, bank count — not on link latency, batch size,
+or traffic, so the bridge compiles one design per unique structural key
+through the ordinary flow (:func:`repro.flow.compile_design`, the same
+netlists the paper's Tables 1-2 rows come from), memoizes the slice
+count, and lets millions of sweep evaluations share a handful of
+compiles.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.advisor import Organization
+from .parameters import ModelParameters
+
+
+def crossbar_transit(params: ModelParameters, accesses: int) -> float:
+    """Link cycles a loop with ``accesses`` memory ops spends in transit."""
+    if not params.fabric:
+        return 0.0
+    return float(accesses * params.link_latency)
+
+
+def serialization_bound(params: ModelParameters) -> float:
+    """Cycles per round the guarded-port grant capacity enforces."""
+    grants = params.consumers * params.consumer_accesses + 1
+    if not params.fabric:
+        return float(grants)
+    return grants / (params.banks * params.batch_size)
+
+
+@lru_cache(maxsize=512)
+def _area_slices(
+    organization: str, consumers: int, deplist_entries: int, banks: int
+) -> int:
+    """Slice area of the synchronization wrapper(s) for one structural key.
+
+    Compiles the forwarding family member with ``consumers`` consumers
+    through the real flow and sums the wrapper area (plus the crossbar
+    when a fabric is requested) — the synchronization cost the paper's
+    area tables isolate, excluding the thread datapaths.
+    """
+    from ..flow import compile_design  # deferred: the flow imports us back
+    from ..net import forwarding_source
+
+    design = compile_design(
+        forwarding_source(consumers),
+        name=f"model_area_{organization}_{consumers}",
+        organization=Organization(organization),
+        deplist_entries=deplist_entries,
+        num_banks=banks,
+    )
+    if design.fabric is not None:
+        return design.fabric_area_report().total.slices
+    return sum(
+        design.area_report(bram).slices
+        for bram in design.memory_map.bram_names
+    )
+
+
+def area_slices(params: ModelParameters) -> int:
+    """Memoized wrapper/fabric slice area for a sweep point."""
+    return _area_slices(
+        params.organization.value,
+        params.consumers,
+        params.deplist_entries,
+        params.banks,
+    )

@@ -1,0 +1,287 @@
+"""Compile-time parameters of the analytical performance model.
+
+The model's whole premise (paper §1, §5) is that synchronization cost is
+determined by a handful of numbers fixed at compile time: the memory
+organization, the consumer count, the shape of the producer and consumer
+FSM loops, and the fabric the wrapper sits behind.  This module defines
+the :class:`ModelParameters` record those numbers live in, and extracts
+them from a :class:`~repro.flow.CompiledDesign` by walking the
+synthesized thread FSMs:
+
+* the **producer loop** is the *longest* simple cycle through the
+  guarded-write state — the back-to-back service period of the producing
+  thread (the steady-state round is paced by its slowest path, because a
+  packet that classifies "interesting" takes the long branch);
+* the **consumer loop** is the *shortest* simple cycle through the
+  guarded-read state — a consumer re-arms its read as fast as its
+  shortest path allows, so that is the path that bounds how early the
+  next blocked read is posted;
+* **accesses per loop** count the memory micro-ops on those cycles;
+  each one is a crossbar transaction when the design compiles to a
+  multi-bank fabric.
+
+Parameter validation raises the structured
+:class:`~repro.core.errors.ParameterError` so CLI callers and CI logs
+get the offending field by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.advisor import Organization
+from ..core.errors import ParameterError
+from ..synth.fsm import MemReadOp, MemWriteOp, ThreadFsm
+
+#: Safety valve for the simple-cycle enumeration: synthesized thread FSMs
+#: are tiny (tens of states), but a pathological branch lattice could
+#: blow up the path count; past this many explored paths extraction fails
+#: loudly rather than hanging.
+_MAX_PATHS = 100_000
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Everything the closed-form predictors need about one configuration.
+
+    The first block is extracted from the compiled design; the second is
+    the deployment configuration (fabric and traffic) that the predictors
+    sweep without recompiling.
+    """
+
+    organization: Organization
+    #: guarded consumer endpoints (the paper's dependency number, dn)
+    consumers: int
+    #: states on the producer's dominant (longest) loop
+    producer_loop: int
+    #: states on the consumer's fastest (shortest) loop
+    consumer_loop: int
+    #: memory accesses on the producer loop (crossbar transactions each)
+    producer_accesses: int
+    #: guarded memory accesses on the consumer loop
+    consumer_accesses: int = 1
+
+    # -- deployment configuration ------------------------------------------------
+    #: fabric banks; 0 = the paper's single-address-space flow
+    banks: int = 0
+    link_latency: int = 1
+    batch_size: int = 1
+    #: memory accesses on the producer loop that spill off-chip
+    offchip_accesses: int = 0
+    #: extra cycles per off-chip access
+    offchip_latency: int = 0
+    deplist_entries: int = 4
+    #: Bernoulli arrival probability per cycle; 1.0 = back-to-back
+    traffic_rate: float = 1.0
+
+    def validate(self) -> "ModelParameters":
+        """Range-check every field; raise :class:`ParameterError` on the
+        first violation.  Returns ``self`` so call sites can chain.
+
+        Straight-line comparisons, not a table: this runs on every
+        ``predict()`` call and the no-allocation fast path is part of
+        keeping evaluation above 1e5 configurations/second.
+        """
+        if (
+            self.consumers >= 1
+            and self.producer_loop >= 1
+            and self.consumer_loop >= 1
+            and self.producer_accesses >= 1
+            and self.consumer_accesses >= 1
+            and self.banks >= 0
+            and self.link_latency >= 0
+            and self.batch_size >= 1
+            and self.offchip_accesses >= 0
+            and self.offchip_latency >= 0
+            and self.deplist_entries >= 1
+            and 0.0 <= self.traffic_rate <= 1.0
+        ):
+            return self
+        return self._raise_out_of_range()
+
+    def _raise_out_of_range(self) -> "ModelParameters":
+        """The slow path of :meth:`validate`: name the offending field."""
+        checks = (
+            ("consumers", self.consumers, self.consumers >= 1,
+             "at least one consumer is required"),
+            ("producer_loop", self.producer_loop, self.producer_loop >= 1,
+             "the producer loop must have at least one state"),
+            ("consumer_loop", self.consumer_loop, self.consumer_loop >= 1,
+             "the consumer loop must have at least one state"),
+            ("producer_accesses", self.producer_accesses,
+             self.producer_accesses >= 1,
+             "the producer loop must access memory at least once"),
+            ("consumer_accesses", self.consumer_accesses,
+             self.consumer_accesses >= 1,
+             "the consumer loop must access memory at least once"),
+            ("banks", self.banks, self.banks >= 0,
+             "bank count cannot be negative"),
+            ("link_latency", self.link_latency, self.link_latency >= 0,
+             "link latency cannot be negative"),
+            ("batch_size", self.batch_size, self.batch_size >= 1,
+             "the crossbar must accept at least one request per cycle"),
+            ("offchip_accesses", self.offchip_accesses,
+             self.offchip_accesses >= 0,
+             "off-chip access count cannot be negative"),
+            ("offchip_latency", self.offchip_latency,
+             self.offchip_latency >= 0,
+             "off-chip latency cannot be negative"),
+            ("deplist_entries", self.deplist_entries,
+             self.deplist_entries >= 1,
+             "the dependency list needs at least one entry"),
+            ("traffic_rate", self.traffic_rate,
+             0.0 <= self.traffic_rate <= 1.0,
+             "traffic rate is a per-cycle probability in [0, 1]"),
+        )
+        for name, value, ok, why in checks:
+            if not ok:
+                raise ParameterError(why, parameter=name, value=value)
+        raise AssertionError("validate() fast and slow paths disagree")
+
+    def with_config(self, **overrides) -> "ModelParameters":
+        """A copy with deployment fields replaced (sweep helper)."""
+        return replace(self, **overrides).validate()
+
+    @property
+    def fabric(self) -> bool:
+        return self.banks >= 1
+
+    @property
+    def threads(self) -> int:
+        """Threads the wait-state fractions are normalized over."""
+        return 1 + self.consumers
+
+
+# ---------------------------------------------------------------------------
+# Extraction from a compiled design
+# ---------------------------------------------------------------------------
+
+
+def _loops_through(
+    fsm: ThreadFsm, via: str
+) -> list[tuple[int, int]]:
+    """All simple cycles through state ``via``: (length, memory_accesses).
+
+    Lengths count states (one cycle each when nothing blocks); accesses
+    count memory micro-ops on the cycle, including multiple ops in one
+    state (each is a separate controller transaction).
+    """
+    loops: list[tuple[int, int]] = []
+    explored = 0
+
+    def accesses(state_name: str) -> int:
+        return sum(
+            1
+            for op in fsm.states[state_name].ops
+            if isinstance(op, (MemReadOp, MemWriteOp))
+        )
+
+    # Iterative DFS over simple paths starting at ``via``.
+    stack = [(via, [via], accesses(via))]
+    while stack:
+        explored += 1
+        if explored > _MAX_PATHS:
+            raise ParameterError(
+                f"FSM of thread {fsm.thread!r} has too many simple paths "
+                f"to enumerate (> {_MAX_PATHS})",
+                parameter="fsm", value=fsm.thread,
+            )
+        name, path, acc = stack.pop()
+        for transition in fsm.states[name].transitions:
+            target = transition.target
+            if target == via:
+                loops.append((len(path), acc))
+            elif target not in path:
+                stack.append(
+                    (target, path + [target], acc + accesses(target))
+                )
+    return loops
+
+
+def _guarded_states(
+    fsm: ThreadFsm, kind: type
+) -> list[str]:
+    return [
+        name
+        for name, state in fsm.states.items()
+        if any(
+            isinstance(op, kind) and op.guarded for op in state.ops
+        )
+    ]
+
+
+def extract_parameters(
+    design,
+    *,
+    traffic_rate: float = 1.0,
+    offchip_latency: int = 0,
+    deplist_entries: Optional[int] = None,
+) -> ModelParameters:
+    """Derive :class:`ModelParameters` from a compiled design.
+
+    ``design`` is a :class:`repro.flow.CompiledDesign` (duck-typed to
+    avoid an import cycle: the flow calls back into this module).
+    Producer metrics take the bottleneck (max) over producing threads;
+    consumer metrics take the fastest (min) over consuming threads.
+    """
+    producer_loops: list[tuple[int, int]] = []
+    consumer_loops: list[tuple[int, int]] = []
+    offchip_names = set(design.memory_map.offchip_names)
+    offchip_accesses = 0
+
+    for fsm in design.fsms.values():
+        for via in _guarded_states(fsm, MemWriteOp):
+            loops = _loops_through(fsm, via)
+            if loops:
+                producer_loops.append(max(loops))
+            offchip_accesses = max(
+                offchip_accesses,
+                sum(
+                    1
+                    for state in fsm.states.values()
+                    for op in state.ops
+                    if isinstance(op, (MemReadOp, MemWriteOp))
+                    and op.bram in offchip_names
+                ),
+            )
+        for via in _guarded_states(fsm, MemReadOp):
+            loops = _loops_through(fsm, via)
+            if loops:
+                consumer_loops.append(min(loops))
+
+    if not producer_loops or not consumer_loops:
+        raise ParameterError(
+            "the design has no producer/consumer dependency to model "
+            "(no guarded accesses found)",
+            parameter="design", value=design.name,
+        )
+
+    producer_loop, producer_accesses = max(producer_loops)
+    consumer_loop, consumer_accesses = min(consumer_loops)
+    consumers = sum(
+        dep.dependency_number for dep in design.checked.dependencies
+    )
+    fabric = design.fabric
+    return ModelParameters(
+        organization=design.organization,
+        consumers=max(1, consumers),
+        producer_loop=producer_loop,
+        consumer_loop=consumer_loop,
+        producer_accesses=max(1, producer_accesses),
+        consumer_accesses=max(1, consumer_accesses),
+        banks=0 if fabric is None else fabric.config.num_banks,
+        link_latency=1 if fabric is None else fabric.config.link_latency,
+        batch_size=1 if fabric is None else fabric.config.batch_size,
+        offchip_accesses=offchip_accesses,
+        offchip_latency=offchip_latency,
+        deplist_entries=(
+            deplist_entries
+            if deplist_entries is not None
+            else max(
+                (len(lst.entries) for lst in design.deplists.values()),
+                default=4,
+            )
+        ),
+        traffic_rate=traffic_rate,
+    ).validate()

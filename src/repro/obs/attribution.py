@@ -169,6 +169,21 @@ class AttributionLedger:
             totals[key] = totals.get(key, 0) + count
         return totals
 
+    def state_fractions(self) -> dict[str, float]:
+        """Wait-state fractions of all attributed cycles (sums to 1.0).
+
+        The normalization the analytical model (:mod:`repro.model`)
+        predicts and validates against: each state's share of every
+        thread's every cycle.  Empty ledger -> empty dict.
+        """
+        totals = self.state_totals()
+        attributed = sum(totals.values())
+        if attributed == 0:
+            return {}
+        return {
+            state: count / attributed for state, count in totals.items()
+        }
+
     def sorted_cells(self) -> list[tuple[tuple[str, str, str, str], int]]:
         return sorted(self.cells.items())
 

@@ -1,0 +1,126 @@
+"""Predict-pruned campaigns: model scoring decides what simulates.
+
+The tasks here are cheap arithmetic, not simulations — the unit under
+test is the pruning orchestration (which specs run, which are recorded
+as skipped, and the report surface), not the engine or the model.
+"""
+
+from repro.campaign import (
+    EngineConfig,
+    PruneReport,
+    RunSpec,
+    predict_pruned_matrix,
+)
+from repro.campaign.tasks import square_task
+
+
+def cost_objectives(payload: dict) -> tuple:
+    """Minimize (value, 10 - value): only the extremes are Pareto."""
+    value = payload["value"]
+    return (float(value), float(10 - value), float(payload.get("area", 1)))
+
+
+def value_specs(count: int) -> list:
+    return [
+        RunSpec(index=index, payload={"value": index})
+        for index in range(count)
+    ]
+
+
+class TestPredictPrunedMatrix:
+    def test_only_promising_points_simulate(self):
+        specs = value_specs(6)
+        report = predict_pruned_matrix(
+            square_task, specs, cost_objectives, margin=0.0
+        )
+        # With margin 0, exactly the Pareto frontier of the objective
+        # tuples survives; midpoints are dominated on neither axis, so
+        # everything on the (value, 10-value) trade-off line is kept —
+        # use a dominated payload to see real skipping instead.
+        assert report.total == 6
+        assert sorted(report.kept) + sorted(report.skipped) == sorted(
+            report.kept + report.skipped
+        )
+        assert set(report.kept) | set(report.skipped) == set(range(6))
+
+    def test_dominated_points_are_skipped_not_run(self):
+        # index 0 dominates index 1 on every axis.
+        specs = [
+            RunSpec(index=0, payload={"value": 1, "area": 1}),
+            RunSpec(index=1, payload={"value": 5, "area": 9}),
+        ]
+
+        def objectives(payload: dict) -> tuple:
+            return (float(payload["value"]), float(payload["area"]))
+
+        report = predict_pruned_matrix(
+            square_task, specs, objectives, margin=0.0
+        )
+        assert report.kept == [0]
+        assert report.skipped == [1]
+        # The engine only ran the kept spec.
+        assert [r.index for r in report.engine.results] == [0]
+        assert report.engine.results[0].value["square"] == 1
+        assert report.simulated_fraction == 0.5
+
+    def test_margin_rescues_near_frontier_points(self):
+        specs = [
+            RunSpec(index=0, payload={"value": 10, "area": 10}),
+            # 5% worse on both axes: pruned at margin 0, kept at 0.15.
+            RunSpec(index=1, payload={"value": 10.5, "area": 10.5}),
+        ]
+
+        def objectives(payload: dict) -> tuple:
+            return (float(payload["value"]), float(payload["area"]))
+
+        tight = predict_pruned_matrix(
+            square_task, specs, objectives, margin=0.0
+        )
+        assert tight.kept == [0]
+        wide = predict_pruned_matrix(
+            square_task, specs, objectives, margin=0.15
+        )
+        assert wide.kept == [0, 1]
+
+    def test_objectives_recorded_per_spec(self):
+        specs = value_specs(3)
+        report = predict_pruned_matrix(
+            square_task, specs, cost_objectives
+        )
+        assert set(report.objectives) == {0, 1, 2}
+        assert report.objectives[2] == (2.0, 8.0, 1.0)
+
+    def test_deterministic_across_workers(self):
+        specs = value_specs(5)
+        serial = predict_pruned_matrix(
+            square_task, specs, cost_objectives, EngineConfig(workers=1)
+        )
+        parallel = predict_pruned_matrix(
+            square_task, specs, cost_objectives, EngineConfig(workers=2)
+        )
+        assert serial.kept == parallel.kept
+        assert serial.skipped == parallel.skipped
+        assert [
+            (r.index, r.value) for r in serial.engine.results
+        ] == [(r.index, r.value) for r in parallel.engine.results]
+
+    def test_to_dict_schema(self):
+        report = predict_pruned_matrix(
+            square_task, value_specs(2), cost_objectives
+        )
+        document = report.to_dict()
+        assert document["schema"] == "repro.campaign.prune/1"
+        assert document["total"] == 2
+        assert document["kept"] == report.kept
+        assert document["skipped"] == report.skipped
+        assert (
+            document["simulated_fraction"]
+            == round(report.simulated_fraction, 6)
+        )
+
+    def test_empty_matrix(self):
+        report = predict_pruned_matrix(square_task, [], cost_objectives)
+        assert isinstance(report, PruneReport)
+        assert report.total == 0
+        assert report.simulated_fraction == 0.0
+        assert report.engine.results == []

@@ -1,0 +1,28 @@
+"""Honesty test for the committed model-validation golden.
+
+Same pattern as the PR-5/6 goldens (tests/obs/golden): regenerate the
+full Figure-1 validation grid — three organizations x {1, 4} banks x
+sparse/dense traffic, seeded Bernoulli arrivals, wheel kernel — and
+require the rendered JSON to match the committed bytes.  The CI
+predict-smoke job runs the same grid via ``python -m repro predict
+--validate``, so a drift in either the model or the simulator fails
+both gates for the same reason.
+"""
+
+import json
+
+from repro.model import ERROR_BOUND, validate
+
+
+def test_figure1_validation_matches_committed_golden(request):
+    report = validate()
+    fresh = report.to_json()
+    golden = request.path.parent / "golden" / "figure1_validation.json"
+    assert fresh == golden.read_text()
+    # The golden must itself be a passing report under the stated bound:
+    # committing a failing validation would defeat the gate.
+    document = json.loads(fresh)
+    assert document["within_bound"] is True
+    assert document["bound"] == ERROR_BOUND
+    assert document["worst_enforced_error"] <= ERROR_BOUND
+    assert len(document["configs"]) == 12  # 3 orgs x 2 banks x 2 rates

@@ -1,0 +1,177 @@
+"""Property tests: analytical-model monotonicity, no simulation.
+
+Every property here is stated in the physics-honest direction.  In
+particular, *consumer wait decreases as the traffic rate rises* below
+saturation (a consumer parked on a guarded read waits for the *next*
+packet, so sparser traffic means longer waits) — so the wait
+monotonicities are asserted on the **saturated** round, where more
+contention can only stretch the period:
+
+* saturated wait is non-decreasing in the consumer count, the off-chip
+  latency, and the crossbar link latency;
+* end-to-end latency is non-decreasing in the traffic rate (queueing
+  delay grows with utilization) while it stays finite;
+* sustained throughput is non-decreasing in the bank count and in the
+  offered rate;
+* predictions are pure: same parameters, byte-identical summary.
+
+These run on :func:`~repro.model.predict` and
+:func:`~repro.model.organizations.saturated_round` alone — thousands of
+examples cost milliseconds, which is the point of a closed form.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.advisor import Organization
+from repro.model import ModelParameters, predict, saturated_round
+
+#: The lock baseline switches into its spin-storm envelope at four
+#: consumers; the envelope is calibrated, not derived, so the strict
+#: per-organization monotonicities are asserted on the derived regime
+#: and the storm regime separately (the boundary itself is a model
+#: seam, documented in docs/performance_model.md).
+ORGS = st.sampled_from(list(Organization))
+
+consumers_st = st.integers(min_value=1, max_value=12)
+loops_st = st.integers(min_value=2, max_value=30)
+accesses_st = st.integers(min_value=1, max_value=10)
+banks_st = st.integers(min_value=0, max_value=8)
+link_st = st.integers(min_value=1, max_value=5)
+offchip_st = st.integers(min_value=0, max_value=40)
+rate_st = st.floats(
+    min_value=0.001, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def params(org, consumers, producer_loop, consumer_loop, accesses, **kw):
+    return ModelParameters(
+        organization=org,
+        consumers=consumers,
+        producer_loop=producer_loop,
+        consumer_loop=consumer_loop,
+        producer_accesses=accesses,
+        **kw,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ORGS, consumers_st, loops_st, loops_st, accesses_st, banks_st)
+def test_saturated_wait_non_decreasing_in_consumers(
+    org, consumers, p_loop, c_loop, accesses, banks
+):
+    """One more consumer can only add contention to the round."""
+    base = params(org, consumers, p_loop, c_loop, accesses, banks=banks)
+    more = base.with_config(consumers=consumers + 1)
+    assert (
+        saturated_round(more).consumer_wait
+        >= saturated_round(base).consumer_wait
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ORGS, consumers_st, loops_st, loops_st, accesses_st, offchip_st)
+def test_saturated_wait_non_decreasing_in_offchip_latency(
+    org, consumers, p_loop, c_loop, accesses, offchip
+):
+    base = params(
+        org, consumers, p_loop, c_loop, accesses,
+        offchip_accesses=1, offchip_latency=offchip,
+    )
+    slower = base.with_config(offchip_latency=offchip + 5)
+    assert (
+        saturated_round(slower).consumer_wait
+        >= saturated_round(base).consumer_wait
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ORGS, consumers_st, loops_st, loops_st, accesses_st, link_st)
+def test_saturated_wait_non_decreasing_in_link_latency(
+    org, consumers, p_loop, c_loop, accesses, link
+):
+    """Every crossbar transit pays the link, so a slower fabric can only
+    lengthen the saturated round."""
+    base = params(
+        org, consumers, p_loop, c_loop, accesses,
+        banks=2, link_latency=link,
+    )
+    slower = base.with_config(link_latency=link + 1)
+    assert (
+        saturated_round(slower).consumer_wait
+        >= saturated_round(base).consumer_wait
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(ORGS, consumers_st, loops_st, loops_st, accesses_st, rate_st)
+def test_e2e_latency_non_decreasing_in_rate(
+    org, consumers, p_loop, c_loop, accesses, rate
+):
+    """Queueing delay grows with utilization while the system is stable;
+    past saturation the prediction degrades to None (unbounded)."""
+    base = params(
+        org, consumers, p_loop, c_loop, accesses, traffic_rate=rate
+    )
+    busier = base.with_config(traffic_rate=min(1.0, rate * 1.25))
+    lo = predict(base).e2e_latency
+    hi = predict(busier).e2e_latency
+    if hi is None:
+        return  # saturated at the higher rate: latency is unbounded
+    assert lo is not None
+    assert hi >= lo - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(ORGS, consumers_st, loops_st, loops_st, accesses_st, rate_st)
+def test_throughput_non_decreasing_in_rate(
+    org, consumers, p_loop, c_loop, accesses, rate
+):
+    """Offering more traffic never reduces delivered throughput: it is
+    min(rate, 1/period) and the period ignores the rate."""
+    base = params(
+        org, consumers, p_loop, c_loop, accesses, traffic_rate=rate
+    )
+    busier = base.with_config(traffic_rate=min(1.0, rate * 1.25))
+    assert predict(busier).throughput >= predict(base).throughput - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ORGS, consumers_st, loops_st, loops_st, accesses_st,
+    st.integers(min_value=1, max_value=4),
+)
+def test_throughput_non_decreasing_in_banks(
+    org, consumers, p_loop, c_loop, accesses, banks
+):
+    """More banks widen the serialization bottleneck and touch nothing
+    else, so saturated throughput can only go up."""
+    base = params(
+        org, consumers, p_loop, c_loop, accesses,
+        banks=banks, traffic_rate=1.0,
+    )
+    wider = base.with_config(banks=banks * 2)
+    assert predict(wider).throughput >= predict(base).throughput - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(ORGS, consumers_st, loops_st, loops_st, accesses_st, rate_st)
+def test_prediction_is_pure(
+    org, consumers, p_loop, c_loop, accesses, rate
+):
+    p = params(org, consumers, p_loop, c_loop, accesses, traffic_rate=rate)
+    assert predict(p).summary_json() == predict(p).summary_json()
+
+
+@settings(max_examples=40, deadline=None)
+@given(ORGS, consumers_st, loops_st, loops_st, accesses_st, banks_st, rate_st)
+def test_fractions_always_conserve(
+    org, consumers, p_loop, c_loop, accesses, banks, rate
+):
+    fractions = predict(
+        params(
+            org, consumers, p_loop, c_loop, accesses,
+            banks=banks, traffic_rate=rate,
+        )
+    ).fractions
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert all(value >= -1e-12 for value in fractions.values())

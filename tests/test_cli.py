@@ -136,3 +136,66 @@ class TestCliTelemetry:
         )
         assert code == 0
         assert "simulated 50 cycles" in capsys.readouterr().out
+
+
+class TestCliPredict:
+    """``python -m repro predict`` — the analytical model's surface."""
+
+    def test_single_prediction(self, figure1_file, capsys):
+        assert main(["predict", figure1_file]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "consumer wait" in out
+        assert "wait-state fractions" in out
+
+    def test_summary_json_is_byte_deterministic(
+        self, figure1_file, tmp_path
+    ):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for target in (first, second):
+            assert main(
+                ["predict", figure1_file, "--banks", "2",
+                 "--rate", "0.5", "--summary-json", str(target)]
+            ) == 0
+        assert first.read_bytes() == second.read_bytes()
+        document = json.loads(first.read_text())
+        assert document["schema"] == "repro.model.prediction/1"
+        assert document["config"]["banks"] == 2
+
+    def test_sweep_prints_frontier(self, figure1_file, capsys):
+        assert main(
+            ["predict", figure1_file, "--sweep",
+             "--sweep-banks", "1", "--sweep-links", "1",
+             "--sweep-rates", "0.9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+
+    def test_rejects_nonpositive_banks(self, figure1_file, capsys):
+        assert main(["predict", figure1_file, "--banks", "-2"]) == 2
+        err = capsys.readouterr().err
+        assert "parameter-error" in err
+        assert "banks" in err
+
+    def test_rejects_out_of_range_rate(self, figure1_file, capsys):
+        assert main(["predict", figure1_file, "--rate", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "parameter-error" in err
+        assert "traffic_rate" in err
+
+    def test_rejects_negative_link_latency(self, figure1_file, capsys):
+        assert main(
+            ["predict", figure1_file, "--link-latency", "-1"]
+        ) == 2
+        assert "parameter-error" in capsys.readouterr().err
+
+    def test_missing_source_without_validate(self, capsys):
+        assert main(["predict"]) == 2
+        assert "source" in capsys.readouterr().err
+
+    def test_missing_file_reported(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["predict", "/nonexistent/file.hic"])
+        assert excinfo.value.code == 2
+        assert "cannot read" in capsys.readouterr().err

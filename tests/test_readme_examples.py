@@ -37,16 +37,24 @@ class TestReadme:
         # Every CLI flag the README mentions must be real.
         from repro.__main__ import _parser
         from repro.faults.campaign import _faults_parser
+        from repro.model.cli import _predict_parser
         from repro.obs.profile_cli import _profile_parser
 
         text = README.read_text()
         parser_flags = {
             option
-            for parser in (_parser(), _faults_parser(), _profile_parser())
+            for parser in (
+                _parser(),
+                _faults_parser(),
+                _profile_parser(),
+                _predict_parser(),
+            )
             for action in parser._actions
             for option in action.option_strings
         }
         for flag in re.findall(r"--[a-z][a-z-]+", text):
             if flag in ("--benchmark-only", "--no-build-isolation"):
                 continue  # pytest/pip flags, not ours
+            if flag == "--predict-prune":
+                continue  # examples/design_space_exploration.py flag
             assert flag in parser_flags, f"README mentions unknown {flag}"
