@@ -21,7 +21,12 @@ import sys
 
 from .core.advisor import Organization
 from .core.errors import SimulationTimeout
-from .flow import SIMULATION_KERNELS, build_simulation, compile_design
+from .flow import (
+    DEFAULT_KERNEL,
+    SIMULATION_KERNELS,
+    build_simulation,
+    compile_design,
+)
 from .hic.errors import HicError
 from .obs.tracer import TRACE_LEVELS
 from .sim import ConsumerLatencyProbe, VcdWriter, determinism_report
@@ -98,11 +103,13 @@ def _parser() -> argparse.ArgumentParser:
         # Derived from the flow's registry so argparse fails fast with
         # the real list if a backend is ever added or renamed.
         choices=list(SIMULATION_KERNELS),
-        default="wheel",
+        default=DEFAULT_KERNEL,
         help=(
-            "simulation backend: 'wheel' (default) skips provably idle "
-            "cycles and is cycle-equivalent to 'reference', which ticks "
-            "every component every cycle (see docs/simulation_kernels.md)"
+            f"simulation backend (default: {DEFAULT_KERNEL}): 'wheel' "
+            "skips provably idle cycles, 'compiled' runs a generated "
+            "per-design tick function; both are cycle-equivalent to "
+            "'reference', which ticks every component every cycle "
+            "(see docs/simulation_kernels.md)"
         ),
     )
     parser.add_argument(
@@ -336,7 +343,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {error.describe()}", file=sys.stderr)
             return 1
         print(result.describe())
-        if hasattr(sim.kernel, "cycles_skipped"):
+        if hasattr(sim.kernel, "cycles_compiled"):
+            print(
+                f"kernel: compiled, {sim.kernel.cycles_compiled} cycles "
+                f"compiled, {sim.kernel.cycles_interpreted} interpreted"
+            )
+        elif hasattr(sim.kernel, "cycles_skipped"):
             print(
                 f"kernel: wheel, {sim.kernel.cycles_executed} cycles "
                 f"executed, {sim.kernel.cycles_skipped} skipped"

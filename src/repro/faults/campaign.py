@@ -487,7 +487,9 @@ def campaign_fingerprint(config: CampaignConfig, source: str) -> str:
 
 
 def build_run_specs(
-    config: CampaignConfig, source: str = CAMPAIGN_SOURCE
+    config: CampaignConfig,
+    source: str = CAMPAIGN_SOURCE,
+    kernel: Optional[str] = None,
 ) -> list[RunSpec]:
     """Flatten the (organization × run) matrix into engine run specs.
 
@@ -495,12 +497,19 @@ def build_run_specs(
     the orchestrator; its round histories ride along in every payload so
     workers classify independently.
     """
-    from ..flow import build_simulation
+    from ..flow import DEFAULT_KERNEL, build_simulation
 
+    # The kernel is an *execution* parameter, not part of CampaignConfig:
+    # every backend is cycle-equivalent, so it may never influence the
+    # report bytes or the campaign fingerprint.
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
     specs: list[RunSpec] = []
     flat = 0
     for org_index, organization in enumerate(config.organizations):
-        golden_sim = build_simulation(_compile(source, organization))
+        golden_sim = build_simulation(
+            _compile(source, organization), kernel=kernel
+        )
         golden = _trace_rounds(golden_sim)
         golden_sim.run(config.cycles)
         for index in range(config.runs):
@@ -519,6 +528,7 @@ def build_run_specs(
                         "read_timeout": config.read_timeout,
                         "deadlock_window": config.deadlock_window,
                         "profile": config.profile,
+                        "kernel": kernel,
                         "golden": golden,
                     },
                 )
@@ -531,11 +541,14 @@ def run_one(payload: dict) -> dict:
     """Execute and classify one fault run (the engine task; runs in a
     worker process under ``--workers N``).  Returns the
     :class:`RunOutcome` as a JSON-pure dict."""
-    from ..flow import build_simulation
+    from ..flow import DEFAULT_KERNEL, build_simulation
 
     # Compile per run: faults mutate configuration-time state (the
     # dependency list), which must not leak across runs.
-    sim = build_simulation(_compile(payload["source"], payload["organization"]))
+    sim = build_simulation(
+        _compile(payload["source"], payload["organization"]),
+        kernel=payload.get("kernel") or DEFAULT_KERNEL,
+    )
     surface = FaultSurface.from_simulation(sim)
     rng = random.Random(payload["rng_seed"])
     n_faults = 1 + (rng.random() < 0.4)
@@ -623,6 +636,7 @@ def run_campaign(
     source: str = CAMPAIGN_SOURCE,
     engine: Optional[EngineConfig] = None,
     metrics=None,
+    kernel: Optional[str] = None,
 ) -> CampaignReport:
     """Run the full campaign through the fault-tolerant engine and
     return its report.
@@ -633,7 +647,7 @@ def run_campaign(
     retry/backoff, and journal checkpoint/resume — the merged report is
     byte-identical either way.
     """
-    specs = build_run_specs(config, source)
+    specs = build_run_specs(config, source, kernel)
     campaign_engine = CampaignEngine(
         run_one,
         engine or EngineConfig(),
@@ -661,6 +675,13 @@ def run_campaign(
 #: never drift (asserted by ``tests/faults/test_campaign.py``).
 CONFIG_DEFAULTS = CampaignConfig()
 ENGINE_DEFAULTS = EngineConfig()
+
+
+def _simulation_kernels() -> list:
+    # deferred: the flow imports this module back
+    from ..flow import SIMULATION_KERNELS
+
+    return list(SIMULATION_KERNELS)
 
 
 def _faults_parser() -> argparse.ArgumentParser:
@@ -728,6 +749,15 @@ def _faults_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--source", metavar="FILE", help="hic design to fault (default: built-in pipeline)"
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=_simulation_kernels(),
+        default=None,
+        help=(
+            "simulation backend for every run (default: the flow's "
+            "default kernel); report bytes are kernel-independent"
+        ),
     )
     parser.add_argument(
         "--report", metavar="FILE", help="also write the report to FILE"
@@ -896,7 +926,11 @@ def faults_main(argv: Optional[list] = None) -> int:
         metrics = MetricsRegistry()
     try:
         report = run_campaign(
-            config, source=source, engine=engine_config, metrics=metrics
+            config,
+            source=source,
+            engine=engine_config,
+            metrics=metrics,
+            kernel=args.kernel,
         )
     except KeyboardInterrupt:
         # Interrupted before the engine produced any result (e.g. during

@@ -368,15 +368,22 @@ class Simulation:
 
 #: Simulation kernel backends (see ``docs/simulation_kernels.md``):
 #: "reference" ticks every component every cycle; "wheel" is the
-#: cycle-equivalent event-wheel kernel that skips provably idle stretches.
-SIMULATION_KERNELS = ("reference", "wheel")
+#: cycle-equivalent event-wheel kernel that skips provably idle
+#: stretches; "compiled" specializes the design into a generated
+#: straight-line tick function (codegen cached in-process per design).
+SIMULATION_KERNELS = ("reference", "wheel", "compiled")
+
+#: The one shared kernel default: ``build_simulation`` and every CLI
+#: surface (`run`, `faults`, `profile`, `predict --validate`) use this
+#: constant, pinned by ``tests/test_kernel_defaults.py``.
+DEFAULT_KERNEL = "wheel"
 
 
 def build_simulation(
     design: CompiledDesign,
     functions: Optional[dict[str, Callable[..., int]]] = None,
     *,
-    kernel: str = "reference",
+    kernel: str = DEFAULT_KERNEL,
 ) -> Simulation:
     """Instantiate controllers, interfaces, and executors for a design."""
     controllers: dict[str, MemoryController] = {}
@@ -424,7 +431,7 @@ def _finish_simulation(
     design: CompiledDesign,
     controllers: dict[str, MemoryController],
     functions: Optional[dict[str, Callable[..., int]]],
-    kernel: str = "reference",
+    kernel: str = DEFAULT_KERNEL,
 ) -> Simulation:
     """Shared tail of :func:`build_simulation`: interfaces, executors, kernel."""
     rx = {name: RxInterface(name) for name in design.checked.interfaces}
@@ -454,6 +461,10 @@ def _finish_simulation(
         from .sim.wheel import FastKernel
 
         sim_kernel: SimulationKernel = FastKernel(executors, controllers)
+    elif kernel == "compiled":
+        from .sim.compiled import CompiledKernel
+
+        sim_kernel = CompiledKernel(executors, controllers, design=design)
     else:
         sim_kernel = SimulationKernel(executors, controllers)
     return Simulation(

@@ -32,6 +32,8 @@ from .validate import ERROR_BOUND, validate
 
 
 def _predict_parser() -> argparse.ArgumentParser:
+    from ..flow import DEFAULT_KERNEL, SIMULATION_KERNELS
+
     parser = argparse.ArgumentParser(
         prog="python -m repro predict",
         description=(
@@ -122,8 +124,8 @@ def _predict_parser() -> argparse.ArgumentParser:
         help=f"validation error bound (default: {ERROR_BOUND})",
     )
     parser.add_argument(
-        "--kernel", choices=["reference", "wheel"], default="wheel",
-        help="simulation backend for --validate (default: wheel)",
+        "--kernel", choices=list(SIMULATION_KERNELS), default=DEFAULT_KERNEL,
+        help=f"simulation backend for --validate (default: {DEFAULT_KERNEL})",
     )
     return parser
 

@@ -186,7 +186,7 @@ def simulate_config(
     link_latency: int = 1,
     batch_size: int = 1,
     traffic_seed: int = 1,
-    kernel: str = "wheel",
+    kernel: Optional[str] = None,
 ) -> tuple:
     """Run one configuration; return (prediction, observed dict).
 
@@ -194,9 +194,12 @@ def simulate_config(
     trusts: the consumer-latency probe, executor round counters, and the
     cycle-attribution ledger.
     """
-    from ..flow import build_simulation, compile_design
+    from ..flow import DEFAULT_KERNEL, build_simulation, compile_design
     from ..net import BernoulliTraffic
     from ..sim import ConsumerLatencyProbe
+
+    if kernel is None:
+        kernel = DEFAULT_KERNEL
 
     design = compile_design(
         source,
@@ -289,7 +292,7 @@ def validate(
     banks_grid=GRID_BANKS,
     rates=GRID_RATES,
     bound: float = ERROR_BOUND,
-    kernel: str = "wheel",
+    kernel: Optional[str] = None,
 ) -> ValidationReport:
     """Run the validation grid and collect the report.
 

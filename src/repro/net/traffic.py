@@ -19,29 +19,86 @@ from .packet import Ipv4Packet, ip
 
 @dataclass
 class PacketFactory:
-    """Generates destination/source-varied packets deterministically."""
+    """Generates destination/source-varied packets deterministically.
+
+    The factory sits on the simulator's per-cycle hot path (one to two
+    packets per cycle under dense traffic), so the draw is hand-inlined
+    in :meth:`make_message`: it mirrors :meth:`random.Random.randrange`'s
+    rejection sampling bit-for-bit on the same generator state, and the
+    checksum is folded from the raw header words.  The packet *stream* —
+    field values and RNG consumption — is identical to the original
+    ``randrange``/``with_checksum`` formulation; committed golden traces
+    depend on that, and ``tests/net/test_traffic.py`` pins it.
+    """
 
     seed: int = 1
     ports: int = 4
     _rng: random.Random = field(init=False, repr=False)
     _sequence: int = field(default=0, init=False)
+    _ports_bits: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        self._ports_bits = self.ports.bit_length()
 
     def make(self) -> Ipv4Packet:
-        self._sequence += 1
-        dst = ip(10, self._rng.randrange(self.ports), 0, 0) | self._rng.randrange(
-            1 << 12
-        )
-        src = ip(192, 168, 0, 1 + (self._sequence % 254))
+        message = self.make_message()
         return Ipv4Packet(
-            src_addr=src,
-            dst_addr=dst,
-            length=64 + self._rng.randrange(0, 1400, 64),
+            src_addr=message["src_addr"],
+            dst_addr=message["dst_addr"],
+            length=message["length"],
             ttl=64,
-            payload=self._sequence,
-        ).with_checksum()
+            checksum=message["checksum"],
+            payload=message["payload"],
+        )
+
+    def make_message(self) -> dict[str, int]:
+        """``make().to_message()`` without materializing the packet —
+        what the attached simulation hook injects (interfaces carry
+        message dicts; the dataclass would be built only to be
+        flattened right back into one).
+
+        Each ``getrandbits`` rejection loop replicates CPython's
+        ``Random._randbelow_with_getrandbits`` exactly — ``randrange(n)``
+        draws ``n.bit_length()`` bits and rejects values ``>= n`` — so
+        the consumed bit stream matches the pre-inline code.
+        """
+        self._sequence += 1
+        getrandbits = self._rng.getrandbits
+        port = getrandbits(self._ports_bits)  # randrange(self.ports)
+        while port >= self.ports:
+            port = getrandbits(self._ports_bits)
+        low = getrandbits(13)  # randrange(1 << 12): bit_length(4096) == 13
+        while low >= 4096:
+            low = getrandbits(13)
+        step = getrandbits(5)  # randrange(0, 1400, 64): 64 * randbelow(22)
+        while step >= 22:
+            step = getrandbits(5)
+        dst = (10 << 24) | (port << 16) | low
+        src = 0xC0A80000 | (1 + self._sequence % 254)  # 192.168.0.x
+        length = 64 + 64 * step
+        # RFC 1071 ones'-complement fold over the header words.
+        total = (
+            length
+            + ((64 << 8) | 17)  # the {ttl, protocol} word
+            + (src >> 16)
+            + (src & 0xFFFF)
+            + (dst >> 16)
+            + (dst & 0xFFFF)
+        )
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        return {
+            "length": length,
+            "port_in": 0,
+            "port_out": 0,
+            "src_addr": src,
+            "dst_addr": dst,
+            "ttl": 64,
+            "protocol": 17,
+            "checksum": (~total) & 0xFFFF,
+            "payload": self._sequence,
+        }
 
 
 class TrafficGenerator:
@@ -49,6 +106,15 @@ class TrafficGenerator:
 
     def packets_at(self, cycle: int) -> list[Ipv4Packet]:
         raise NotImplementedError
+
+    def messages_at(self, cycle: int) -> list[dict[str, int]]:
+        """The same arrivals as :meth:`packets_at`, already in interface
+        message form — the attached hook's path.  Subclasses with a
+        :class:`PacketFactory` override this with ``make_message`` to
+        skip the packet dataclass; the base fallback guarantees any
+        generator stays attachable.  Call one or the other per cycle,
+        never both: each call consumes the cycle's RNG draw."""
+        return [packet.to_message() for packet in self.packets_at(cycle)]
 
     def attach(self, rx_interface) -> "_AttachedHook":
         """A kernel pre-cycle hook that injects this generator's packets."""
@@ -76,18 +142,46 @@ class _AttachedHook:
     #: drawn-ahead arrivals not yet injected, keyed by cycle
     _buffered: dict = field(default_factory=dict, init=False, repr=False)
 
+    #: compiled-kernel fast-path contract: this hook reads nothing from
+    #: the kernel and mutates only the rx queue, so a generated span may
+    #: keep running it without falling back to interpreted ticks
+    mutates_only_rx = True
+
     def _draw_through(self, cycle: int) -> None:
         while self._drawn_until <= cycle:
-            packets = self.generator.packets_at(self._drawn_until)
-            if packets:
-                self._buffered[self._drawn_until] = packets
+            messages = self.generator.messages_at(self._drawn_until)
+            if messages:
+                self._buffered[self._drawn_until] = messages
             self._drawn_until += 1
 
     def __call__(self, cycle: int, kernel) -> None:
         self._draw_through(cycle)
-        for packet in self._buffered.pop(cycle, ()):
-            self.rx_interface.push(packet.to_message())
+        for message in self._buffered.pop(cycle, ()):
+            self.rx_interface.push(message)
             self.injected += 1
+
+    def prepare_span(self, start: int, end: int):
+        """Compiled-kernel batched path: pre-draw every arrival through
+        cycle ``end - 1`` and expose the internal buffer.
+
+        The caller (a generated ``run_span``) pops each cycle it
+        executes from the returned dict, pushes the messages itself, and
+        adds to :attr:`injected` — exactly what ``__call__`` would have
+        done cycle by cycle, minus the per-cycle function calls.  The
+        RNG draw order is untouched (the pre-draw is the same lookahead
+        the wheel kernel's ``next_wake`` uses), and arrivals left
+        unpopped on an early exit stay buffered for later delivery.
+        """
+        if self._drawn_until < end:
+            span = getattr(self.generator, "messages_span", None)
+            if span is None:
+                self._draw_through(end - 1)
+            else:
+                # span cycles start at _drawn_until, so the keys cannot
+                # collide with anything already buffered
+                self._buffered.update(span(self._drawn_until, end))
+                self._drawn_until = end
+        return self._buffered
 
     def next_wake(self, cycle: int, limit: int, kernel):
         """Earliest arrival in ``(cycle, limit]``; ``None`` if silent.
@@ -99,10 +193,10 @@ class _AttachedHook:
         pending = [c for c in self._buffered if c > cycle]
         while self._drawn_until <= limit:
             drawn = self._drawn_until
-            packets = self.generator.packets_at(drawn)
+            messages = self.generator.messages_at(drawn)
             self._drawn_until += 1
-            if packets:
-                self._buffered[drawn] = packets
+            if messages:
+                self._buffered[drawn] = messages
                 if drawn > cycle:
                     pending.append(drawn)
                     break  # drawn in order: this is the earliest new one
@@ -129,6 +223,25 @@ class BernoulliTraffic(TrafficGenerator):
         if self._rng.random() < self.rate:
             return [self.factory.make()]
         return []
+
+    def messages_at(self, cycle: int) -> list[dict[str, int]]:
+        if self._rng.random() < self.rate:
+            return [self.factory.make_message()]
+        return []
+
+    def messages_span(self, start: int, end: int) -> dict[int, list]:
+        """Batched ``messages_at`` over ``[start, end)``: identical
+        draws in identical order, keyed by cycle (arrival cycles only).
+        The compiled kernel's span pre-draw uses this to skip the
+        per-cycle method call and empty-list churn."""
+        rng_random = self._rng.random
+        rate = self.rate
+        make_message = self.factory.make_message
+        arrivals: dict[int, list] = {}
+        for cycle in range(start, end):
+            if rng_random() < rate:
+                arrivals[cycle] = [make_message()]
+        return arrivals
 
 
 @dataclass
@@ -163,6 +276,12 @@ class PoissonTraffic(TrafficGenerator):
             return [self.factory.make()]
         return []
 
+    def messages_at(self, cycle: int) -> list[dict[str, int]]:
+        if cycle >= self._next_arrival:
+            self._next_arrival = cycle + self._gap()
+            return [self.factory.make_message()]
+        return []
+
 
 @dataclass
 class BurstyTraffic(TrafficGenerator):
@@ -187,6 +306,12 @@ class BurstyTraffic(TrafficGenerator):
             return [self.factory.make()]
         return []
 
+    def messages_at(self, cycle: int) -> list[dict[str, int]]:
+        period = self.burst_len + self.gap_len
+        if (cycle % period) < self.burst_len:
+            return [self.factory.make_message()]
+        return []
+
 
 @dataclass
 class DeterministicTraffic(TrafficGenerator):
@@ -204,6 +329,11 @@ class DeterministicTraffic(TrafficGenerator):
     def packets_at(self, cycle: int) -> list[Ipv4Packet]:
         if cycle % self.interval == 0:
             return [self.factory.make()]
+        return []
+
+    def messages_at(self, cycle: int) -> list[dict[str, int]]:
+        if cycle % self.interval == 0:
+            return [self.factory.make_message()]
         return []
 
 

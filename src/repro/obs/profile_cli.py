@@ -30,7 +30,7 @@ DEFAULT_CYCLES = 300
 
 
 def _profile_parser() -> argparse.ArgumentParser:
-    from ..flow import SIMULATION_KERNELS
+    from ..flow import DEFAULT_KERNEL, SIMULATION_KERNELS
 
     parser = argparse.ArgumentParser(
         prog="python -m repro profile",
@@ -58,10 +58,11 @@ def _profile_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--kernel",
         choices=list(SIMULATION_KERNELS),
-        default="wheel",
+        default=DEFAULT_KERNEL,
         help=(
-            "simulation backend (default: wheel); both kernels produce "
-            "byte-identical attribution"
+            f"simulation backend (default: {DEFAULT_KERNEL}); every "
+            "kernel produces byte-identical attribution (the compiled "
+            "kernel runs its interpreted path under the profiler)"
         ),
     )
     parser.add_argument(

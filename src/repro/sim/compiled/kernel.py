@@ -1,0 +1,121 @@
+"""The compiled simulation kernel: generated fast path + interpreted escape.
+
+:class:`CompiledKernel` is a drop-in :class:`~repro.sim.kernel.SimulationKernel`
+whose ``run`` executes the design's generated tick function
+(:mod:`.codegen`) for whole spans of cycles, falling back to the
+interpreted two-phase protocol — the base class, unchanged — whenever
+byte-equivalence cannot be guaranteed cheaply:
+
+* an observer (telemetry/profiler), post-cycle hook (watchdog, probes),
+  controller tap/observer, or BRAM trace is attached — those seams see
+  *intra*-cycle state the flattened code does not materialize;
+* a pre-cycle hook is not marked ``mutates_only_rx`` (the traffic
+  injector is; a fault injector is not);
+* ``run`` is called with an ``until`` predicate (evaluated per cycle);
+* the design uses a construct codegen rejects, or binding the generated
+  module to the live objects failed a drift assertion.
+
+The escape hatch is per-*call*: a campaign can attach a watchdog, run
+interpreted, detach it, and continue compiled — state is shared because
+the generated span flushes everything back into the real executor and
+controller objects on exit (including on exceptions).
+
+``cycles_compiled`` / ``cycles_interpreted`` count where cycles actually
+ran, so tests can assert the fast path really was taken (differential
+coverage that silently falling back would otherwise fake).
+
+Set ``REPRO_COMPILED_STRICT=1`` to turn silent fallbacks on bind
+failures into hard errors (debugging aid for codegen work).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..kernel import SimulationKernel
+from .cache import compile_program
+
+
+def _controller_untapped(controller) -> bool:
+    """No seam on this controller (or, for a fabric, any of its banks)
+    observes intra-cycle state the generated code skips."""
+    if controller.request_taps:
+        return False
+    if controller.observer is not None or controller.submit_observer is not None:
+        return False
+    bram = getattr(controller, "bram", None)
+    if bram is not None and getattr(bram, "trace_enabled", False):
+        return False
+    banks = getattr(controller, "banks", None)
+    if banks is not None:
+        return all(_controller_untapped(bank) for bank in banks.values())
+    return True
+
+
+class CompiledKernel(SimulationKernel):
+    """Runs the generated per-design tick function when it is safe to."""
+
+    def __init__(self, executors, controllers, design=None):
+        super().__init__(executors, controllers)
+        self.design = design
+        self.program = None
+        self.bind_error: str | None = None
+        self._run_span = None
+        #: cycle counters by execution path (observability + tests)
+        self.cycles_compiled = 0
+        self.cycles_interpreted = 0
+        if design is not None:
+            self.program = compile_program(design)
+            if self.program.supported:
+                namespace: dict = {}
+                try:
+                    exec(self.program.code, namespace)
+                    self._run_span = namespace["bind"](self)
+                except Exception as exc:  # drift between codegen and runtime
+                    if os.environ.get("REPRO_COMPILED_STRICT"):
+                        raise
+                    self.bind_error = f"{type(exc).__name__}: {exc}"
+                    self._run_span = None
+            else:
+                self.bind_error = self.program.reason
+
+    # -- fast-path eligibility --------------------------------------------------------
+
+    def _fast_path_ok(self) -> bool:
+        if self._run_span is None:
+            return False
+        if self.observer is not None or self._post_hooks:
+            return False
+        for hook in self._pre_hooks:
+            if not getattr(hook, "mutates_only_rx", False):
+                return False
+        return all(
+            _controller_untapped(controller)
+            for controller in self.controllers.values()
+        )
+
+    # -- kernel protocol ---------------------------------------------------------------
+
+    def step(self):
+        self.cycles_interpreted += 1
+        return super().step()
+
+    def run(self, cycles, until=None, max_wall_seconds=None):
+        if cycles > 0 and until is None and self._fast_path_ok():
+            deadline = self._deadline(max_wall_seconds)
+            start = self.cycle
+            try:
+                self._run_span(
+                    start, start + cycles, deadline, max_wall_seconds
+                )
+            finally:
+                self.cycles_compiled += self.cycle - start
+            return self._result()
+        return super().run(
+            cycles, until=until, max_wall_seconds=max_wall_seconds
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.cycles_compiled = 0
+        self.cycles_interpreted = 0

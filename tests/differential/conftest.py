@@ -1,19 +1,20 @@
-"""Shared rig for the reference-vs-wheel differential harness.
+"""Shared rig for the cross-kernel differential harness.
 
-The wheel kernel's correctness claim is *cycle equivalence*: for any
-compiled design, traffic schedule, and fault campaign, the fast kernel
-must leave the simulation in exactly the state the reference kernel
-would — same consumer values, same executor statistics, same controller
-latency samples, same memory images, same telemetry summaries.  These
-helpers build the two simulations identically and extract the full
-comparison surface.
+Every fast kernel's correctness claim is *cycle equivalence*: for any
+compiled design, traffic schedule, and fault campaign, the wheel and
+compiled kernels must leave the simulation in exactly the state the
+reference kernel would — same consumer values, same executor
+statistics, same controller latency samples, same memory images, same
+telemetry summaries.  These helpers build the simulations identically
+and extract the full comparison surface.
 """
 
 from repro.core import ControllerStats, Organization
 from repro.flow import build_simulation, compile_design
 from repro.net import BernoulliTraffic
 
-KERNELS = ("reference", "wheel")
+#: every kernel backend; index 0 is the semantics-defining reference
+KERNELS = ("reference", "wheel", "compiled")
 
 
 def build_pair(
@@ -23,11 +24,13 @@ def build_pair(
     organization=Organization.ARBITRATED,
     num_banks=0,
     dep_home="address",
+    kernels=KERNELS,
     **compile_kwargs,
 ):
-    """Compile ``source`` twice and return ``(reference_sim, wheel_sim)``."""
+    """Compile ``source`` once per kernel; one simulation each, in
+    ``kernels`` order (the reference kernel first)."""
     sims = []
-    for kernel in KERNELS:
+    for kernel in kernels:
         design = compile_design(
             source,
             organization=organization,
@@ -87,9 +90,13 @@ def architectural_state(sim):
     }
 
 
-def assert_equivalent(reference_sim, wheel_sim):
-    """Assert the full architectural comparison surface matches."""
+def assert_equivalent(reference_sim, *candidate_sims):
+    """Assert every candidate matches the reference on the full
+    architectural comparison surface."""
     reference = architectural_state(reference_sim)
-    wheel = architectural_state(wheel_sim)
-    for key in reference:
-        assert wheel[key] == reference[key], f"kernels diverged on {key!r}"
+    for candidate_sim in candidate_sims:
+        candidate = architectural_state(candidate_sim)
+        for key in reference:
+            assert candidate[key] == reference[key], (
+                f"kernels diverged on {key!r}"
+            )

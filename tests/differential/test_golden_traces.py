@@ -54,14 +54,14 @@ def traced_run(kernel):
     return sim, telemetry
 
 
-@pytest.mark.parametrize("kernel", ["reference", "wheel"])
+@pytest.mark.parametrize("kernel", ["reference", "wheel", "compiled"])
 def test_chrome_trace_matches_golden(kernel):
     __, telemetry = traced_run(kernel)
     golden = (FIXTURES / "figure1_trace.json").read_text()
     assert dumps_chrome_trace(telemetry) == golden
 
 
-@pytest.mark.parametrize("kernel", ["reference", "wheel"])
+@pytest.mark.parametrize("kernel", ["reference", "wheel", "compiled"])
 def test_summary_matches_golden(kernel):
     __, telemetry = traced_run(kernel)
     golden = (FIXTURES / "figure1_summary.json").read_text()

@@ -1,13 +1,17 @@
-"""Differential matrix: reference vs wheel across the full design space.
+"""Differential matrix: reference vs fast kernels across the design space.
 
-Every cell compiles one design twice, runs both kernels under identical
-seeded traffic (and, in the fault cells, an identical fault campaign),
-and asserts the complete architectural state matches: consumer values,
-executor statistics, controller latency samples / :class:`ControllerStats`,
-memory images, blocked-request sets, and the dependency-lifecycle span
-summary bytes.  The matrix covers all three memory organizations, the
-paper's single-address-space flow plus 1- and 4-bank fabrics, and
-no-fault vs seeded-fault campaigns.
+Every cell compiles one design per kernel, runs all of them under
+identical seeded traffic (and, in the fault cells, an identical fault
+campaign), and asserts the complete architectural state matches:
+consumer values, executor statistics, controller latency samples /
+:class:`ControllerStats`, memory images, blocked-request sets, and the
+dependency-lifecycle span summary bytes.  The matrix covers all three
+memory organizations, the paper's single-address-space flow plus 1- and
+4-bank fabrics, and no-fault vs seeded-fault campaigns.
+
+Telemetry is attached in every cell, so the compiled kernel exercises
+its interpreted escape hatch here — the equivalence claim covers the
+fallback path; ``test_compiled_fast_path.py`` covers the generated one.
 """
 
 import pytest
@@ -53,7 +57,7 @@ def seeded_campaign(bram):
 def run_cell(organization, num_banks, with_faults, dep_home="address"):
     source = forwarding_source(4)
     functions = forwarding_functions()
-    reference_sim, wheel_sim = build_pair(
+    sims = build_pair(
         source,
         functions,
         organization=organization,
@@ -62,14 +66,14 @@ def run_cell(organization, num_banks, with_faults, dep_home="address"):
     )
     bram = "fabric" if num_banks else "bram0"
     summaries = []
-    for sim in (reference_sim, wheel_sim):
+    for sim in sims:
         telemetry = sim.attach_telemetry(trace_level="deps")
         attach_traffic(sim, RATE, SEED)
         if with_faults:
             sim.inject_faults(seeded_campaign(bram))
         sim.run(CYCLES)
         summaries.append(dumps_summary(telemetry))
-    return reference_sim, wheel_sim, summaries
+    return sims, summaries
 
 
 @pytest.mark.parametrize(
@@ -80,18 +84,22 @@ def run_cell(organization, num_banks, with_faults, dep_home="address"):
     "with_faults", [False, True], ids=["no-fault", "seeded-fault"]
 )
 def test_kernel_equivalence(organization, num_banks, with_faults):
-    reference_sim, wheel_sim, summaries = run_cell(
-        organization, num_banks, with_faults
-    )
-    assert_equivalent(reference_sim, wheel_sim)
-    assert summaries[0] == summaries[1], "span summaries diverged"
-    # Both kernels simulated the same number of cycles; the wheel kernel
-    # reached it with executed + skipped.
-    assert wheel_sim.kernel.cycle == reference_sim.kernel.cycle == CYCLES
+    sims, summaries = run_cell(organization, num_banks, with_faults)
+    reference_sim, wheel_sim, compiled_sim = sims
+    assert_equivalent(reference_sim, wheel_sim, compiled_sim)
+    for summary in summaries[1:]:
+        assert summary == summaries[0], "span summaries diverged"
+    # All kernels simulated the same number of cycles; the wheel kernel
+    # reached it with executed + skipped, and the compiled kernel — with
+    # its observer attached — through the interpreted escape hatch.
+    for sim in sims:
+        assert sim.kernel.cycle == CYCLES
     assert (
         wheel_sim.kernel.cycles_executed + wheel_sim.kernel.cycles_skipped
         == CYCLES
     )
+    assert compiled_sim.kernel.cycles_interpreted == CYCLES
+    assert compiled_sim.kernel.cycles_compiled == 0
 
 
 @pytest.mark.parametrize(
@@ -103,7 +111,7 @@ def test_wheel_actually_skips(organization):
     """The equivalence result is vacuous if the wheel never skips: the
     guarded organizations at this traffic rate are mostly idle, so a
     healthy fast kernel must skip a large fraction of the run."""
-    reference_sim, wheel_sim, __ = run_cell(organization, 0, False)
+    (__, wheel_sim, __), __ = run_cell(organization, 0, False)
     assert wheel_sim.kernel.cycles_skipped > CYCLES // 4
     assert wheel_sim.kernel.cycles_executed < CYCLES
 
@@ -112,7 +120,7 @@ def test_lock_baseline_never_skips_under_contention():
     """The lock baseline's spin counters burn every contended cycle —
     skipping would silently drop spin statistics, so the controller must
     pin cycle-by-cycle execution whenever a request is blocked."""
-    __, wheel_sim, __ = run_cell(Organization.LOCK_BASELINE, 0, False)
+    (__, wheel_sim, __), __ = run_cell(Organization.LOCK_BASELINE, 0, False)
     # Spinning dominates this workload; the wheel may only skip the
     # genuinely request-free stretches.
     assert wheel_sim.kernel.cycles_executed > 0
@@ -123,8 +131,9 @@ def test_lock_baseline_never_skips_under_contention():
 def test_cross_bank_dep_home_spread():
     """``dep_home="spread"`` routes guards away from their data bank,
     exercising the cross-bank router on every guarded access."""
-    ref, wheel, summaries = run_cell(
+    sims, summaries = run_cell(
         Organization.ARBITRATED, 4, False, dep_home="spread"
     )
-    assert_equivalent(ref, wheel)
-    assert summaries[0] == summaries[1]
+    assert_equivalent(*sims)
+    for summary in summaries[1:]:
+        assert summary == summaries[0]

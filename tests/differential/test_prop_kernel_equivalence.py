@@ -3,9 +3,10 @@
 Hypothesis drives the differential harness through random corners of
 the configuration space — traffic seed and rate, memory organization,
 bank count, dependency homing — asserting the invariant the hand-picked
-matrix cannot exhaust: for *any* scenario, the wheel kernel's consumer
-reads and final memory images are bit-identical to the reference
-kernel's.  Counterexamples shrink to the smallest diverging scenario.
+matrix cannot exhaust: for *any* scenario, the wheel and compiled
+kernels' consumer reads and final memory images are bit-identical to
+the reference kernel's.  Counterexamples shrink to the smallest
+diverging scenario.
 """
 
 from functools import lru_cache
@@ -57,16 +58,21 @@ def test_random_scenarios_are_cycle_equivalent(scenario):
     )
     functions = forwarding_functions()
     sims = []
-    for kernel in ("reference", "wheel"):
+    for kernel in ("reference", "wheel", "compiled"):
         sim = build_simulation(design, functions=functions, kernel=kernel)
         attach_traffic(sim, scenario["rate"], scenario["seed"])
         sim.run(CYCLES)
         sims.append(sim)
-    reference_sim, wheel_sim = sims
+    reference_sim, wheel_sim, compiled_sim = sims
     # The full surface subsumes the headline claims: identical consumer
     # reads (executor envs + tx messages) and final memory images.
-    assert_equivalent(reference_sim, wheel_sim)
+    assert_equivalent(reference_sim, wheel_sim, compiled_sim)
     assert (
         wheel_sim.kernel.cycles_executed + wheel_sim.kernel.cycles_skipped
+        == CYCLES
+    )
+    assert (
+        compiled_sim.kernel.cycles_compiled
+        + compiled_sim.kernel.cycles_interpreted
         == CYCLES
     )

@@ -1,0 +1,202 @@
+"""Unit coverage for the compiled backend: cache, fallback, fingerprint.
+
+The differential suite proves the generated code's *semantics*; these
+tests pin the subsystem's plumbing — the in-process codegen cache
+(including the issue's acceptance criterion that a second
+``build_simulation`` of an identical design is a cache hit), the
+unsupported-design and bind-failure fallbacks, and fingerprint
+sensitivity to the inputs codegen consumes.
+"""
+
+import pytest
+
+from repro.core import Organization
+from repro.flow import build_simulation, compile_design
+from repro.net import (
+    BernoulliTraffic,
+    forwarding_functions,
+    forwarding_source,
+)
+from repro.sim.compiled import (
+    CompiledKernel,
+    cache_size,
+    clear_cache,
+    compile_program,
+    design_fingerprint,
+    generation_count,
+)
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def _design(**kwargs):
+    return compile_design(forwarding_source(2), **kwargs)
+
+
+class TestCodegenCache:
+    def test_second_build_of_identical_design_hits_cache(self):
+        before = generation_count()
+        sim1 = build_simulation(_design(), kernel="compiled")
+        assert generation_count() == before + 1
+        sim2 = build_simulation(_design(), kernel="compiled")
+        # identical design recompiled from source: zero new generations
+        assert generation_count() == before + 1
+        assert sim1.kernel.program is sim2.kernel.program
+        assert cache_size() == 1
+
+    def test_different_organizations_generate_separately(self):
+        build_simulation(
+            _design(organization=Organization.ARBITRATED), kernel="compiled"
+        )
+        before = generation_count()
+        build_simulation(
+            _design(organization=Organization.EVENT_DRIVEN), kernel="compiled"
+        )
+        assert generation_count() == before + 1
+        assert cache_size() == 2
+
+    def test_clear_cache_forces_regeneration(self):
+        design = _design()
+        compile_program(design)
+        before = generation_count()
+        clear_cache()
+        assert cache_size() == 0
+        compile_program(design)
+        assert generation_count() == before + 1
+
+    def test_cached_program_is_shared_across_kernels(self):
+        design = _design()
+        first = compile_program(design)
+        second = compile_program(design)
+        assert first is second
+
+
+class TestFingerprint:
+    def test_fingerprint_is_deterministic(self):
+        assert design_fingerprint(_design()) == design_fingerprint(_design())
+
+    def test_fingerprint_tracks_thread_count(self):
+        two = compile_design(forwarding_source(2))
+        four = compile_design(forwarding_source(4))
+        assert design_fingerprint(two) != design_fingerprint(four)
+
+    def test_fingerprint_tracks_fabric(self):
+        flat = _design()
+        banked = _design(num_banks=4)
+        assert design_fingerprint(flat) != design_fingerprint(banked)
+
+    def test_fingerprint_tracks_organization(self):
+        arb = _design(organization=Organization.ARBITRATED)
+        lock = _design(organization=Organization.LOCK_BASELINE)
+        assert design_fingerprint(arb) != design_fingerprint(lock)
+
+
+class TestFallback:
+    def test_kernel_without_design_interprets(self):
+        sim = build_simulation(_design(), kernel="compiled")
+        bare = CompiledKernel(sim.kernel.executors, sim.kernel.controllers)
+        bare.run(10)
+        assert bare.cycles_interpreted == 10
+        assert bare.cycles_compiled == 0
+
+    def test_unsupported_program_reports_reason_and_interprets(
+        self, monkeypatch
+    ):
+        from repro.sim.compiled import cache as cache_module
+        from repro.sim.compiled.codegen import UnsupportedDesign
+
+        def refuse(design, digest=""):
+            raise UnsupportedDesign("synthetic: no compiled equivalent")
+
+        monkeypatch.setattr(cache_module, "generate_source", refuse)
+        design = _design()
+        program = compile_program(design)
+        assert not program.supported
+        assert "synthetic" in program.reason
+        # the unsupported verdict is cached, not retried per build
+        before = generation_count()
+        sim = build_simulation(design, kernel="compiled")
+        assert generation_count() == before
+        kernel = sim.kernel
+        assert kernel.bind_error == program.reason
+        sim.run(20)
+        assert kernel.cycles_interpreted == 20
+        assert kernel.cycles_compiled == 0
+
+    def test_bind_failure_falls_back_silently(self, monkeypatch):
+        design = _design()
+        program = compile_program(design)
+        broken = compile("def bind(kernel):\n    raise RuntimeError('drift')\n",
+                         "<broken>", "exec")
+        from repro.sim.compiled import cache as cache_module
+        monkeypatch.setitem(
+            cache_module._CACHE,
+            program.digest,
+            type(program)(
+                program.digest, program.source, broken, supported=True
+            ),
+        )
+        sim = build_simulation(design, kernel="compiled")
+        assert sim.kernel.bind_error == "RuntimeError: drift"
+        sim.run(15)
+        assert sim.kernel.cycles_interpreted == 15
+
+    def test_bind_failure_raises_under_strict_env(self, monkeypatch):
+        design = _design()
+        program = compile_program(design)
+        broken = compile("def bind(kernel):\n    raise RuntimeError('drift')\n",
+                         "<broken>", "exec")
+        from repro.sim.compiled import cache as cache_module
+        monkeypatch.setitem(
+            cache_module._CACHE,
+            program.digest,
+            type(program)(
+                program.digest, program.source, broken, supported=True
+            ),
+        )
+        monkeypatch.setenv("REPRO_COMPILED_STRICT", "1")
+        with pytest.raises(RuntimeError, match="drift"):
+            build_simulation(design, kernel="compiled")
+
+    def test_observer_forces_interpreted_path(self):
+        sim = build_simulation(_design(), kernel="compiled")
+        sim.attach_telemetry()
+        sim.run(30)
+        assert sim.kernel.cycles_interpreted == 30
+        assert sim.kernel.cycles_compiled == 0
+
+    def test_non_rx_hook_forces_interpreted_path(self):
+        sim = build_simulation(_design(), kernel="compiled")
+        seen = []
+        sim.kernel.add_pre_cycle_hook(
+            lambda cycle, kernel: seen.append(cycle)
+        )
+        sim.run(5)
+        assert sim.kernel.cycles_interpreted == 5
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_traffic_hook_stays_on_fast_path(self):
+        sim = build_simulation(
+            _design(),
+            functions=forwarding_functions(),
+            kernel="compiled",
+        )
+        generator = BernoulliTraffic(rate=0.5, seed=3)
+        hook = generator.attach(sim.rx["eth_in"])
+        sim.kernel.add_pre_cycle_hook(hook)
+        sim.run(200)
+        assert sim.kernel.cycles_compiled == 200
+        assert sim.kernel.cycles_interpreted == 0
+        assert hook.injected > 0
+
+    def test_reset_zeroes_path_counters(self):
+        sim = build_simulation(_design(), kernel="compiled")
+        sim.run(10)
+        sim.kernel.reset()
+        assert sim.kernel.cycles_compiled == 0
+        assert sim.kernel.cycles_interpreted == 0
+        assert sim.kernel.cycle == 0

@@ -9,7 +9,14 @@ tests the wheel data structure itself and the kernel-level mechanics
 import pytest
 
 from repro.core import ArbitratedController
+from repro.flow import build_simulation, compile_design
 from repro.memory import BlockRam, DependencyEntry, DependencyList
+from repro.net import (
+    DeterministicTraffic,
+    demo_table,
+    forwarding_functions,
+    forwarding_source,
+)
 from repro.sim import FastKernel, TimingWheel
 
 
@@ -166,3 +173,110 @@ class TestFastKernelMechanics:
         assert kernel.cycle == 10
         assert kernel.cycles_executed == 10
         assert kernel.cycles_skipped == 0
+
+
+class TestWheelHorizonEdges:
+    def test_schedule_exactly_at_horizon_overflows(self):
+        # ``horizon`` cycles from the base are covered; an event exactly
+        # *at* ``base + horizon`` is the first one that is not, so it
+        # must take the overflow list — and still be found by earliest().
+        wheel = TimingWheel(slot_count=4, levels=2)
+        assert wheel.horizon == 16
+        wheel.schedule(15, "in")  # last in-horizon cycle
+        wheel.schedule(16, "at")  # exactly at the horizon
+        assert wheel.level_of(15) == 1
+        assert wheel.level_of(16) == 2  # == levels: the overflow list
+        assert wheel.earliest() == 15
+        assert len(wheel) == 2
+
+    def test_advance_cascades_horizon_event_in(self):
+        wheel = TimingWheel(slot_count=4, levels=2)
+        wheel.schedule(16, "at")
+        wheel.advance(1)  # now 15 cycles away: inside the horizon
+        assert wheel.level_of(16) == 1
+        wheel.advance(13)  # 3 away: finest level
+        assert wheel.level_of(16) == 0
+        assert wheel.pop_due(16) == ["at"]
+        assert len(wheel) == 0
+
+    def test_wake_exactly_at_the_run_horizon(self):
+        """A wake landing exactly on the run's final cycle: the skip
+        jumps straight to it, and the final-cycle rule executes it (the
+        hook must fire, not be skipped over)."""
+        fired = []
+
+        def hook(cycle, kernel):
+            if cycle == 99:
+                fired.append(cycle)
+
+        hook.next_wake = (
+            lambda cycle, limit, kernel: 99 if cycle < 99 else None
+        )
+        kernel = make_idle_kernel()
+        kernel.add_pre_cycle_hook(hook)
+        kernel.run(100)
+        assert fired == [99]
+        assert kernel.cycle == 100
+        # first cycle, one jump, final cycle: nothing else executes
+        assert kernel.cycles_executed == 2
+        assert kernel.cycles_skipped == 98
+
+    def test_imminent_wake_means_zero_length_skip(self):
+        """A hook that always reports a wake on the very next cycle
+        leaves a zero-length idle stretch; the kernel must execute every
+        cycle rather than spin on zero-length jumps."""
+        hook_calls = []
+
+        def hook(cycle, kernel):
+            hook_calls.append(cycle)
+
+        hook.next_wake = lambda cycle, limit, kernel: cycle + 1
+        kernel = make_idle_kernel()
+        kernel.add_pre_cycle_hook(hook)
+        kernel.run(40)
+        assert kernel.cycle == 40
+        assert kernel.cycles_executed == 40
+        assert kernel.cycles_skipped == 0
+        assert hook_calls == list(range(40))
+
+
+def make_traffic_sim(kernel):
+    """The Figure-1 forwarding pair under one packet every 200 cycles —
+    long quiescent stretches bracketed by full produce/consume rounds."""
+    design = compile_design(forwarding_source(2))
+    sim = build_simulation(
+        design, functions=forwarding_functions(demo_table()), kernel=kernel
+    )
+    hook = DeterministicTraffic(interval=200).attach(sim.rx["eth_in"])
+    sim.kernel.add_pre_cycle_hook(hook)
+    return sim
+
+
+class TestParkLifecycle:
+    def test_repark_rebuilds_frozen_requests(self):
+        """A mem-parked executor re-asserts its frozen request every
+        parked cycle; the grant un-parks it, and once it blocks again
+        the kernel must build a *fresh* park record (re-freezing the
+        resubmitted request), never resurrect the stale one."""
+        sim = make_traffic_sim("wheel")
+        kernel = sim.kernel
+
+        sim.run(150)  # quiescent between the packets at 0 and 200
+        first = dict(kernel._parked)
+        assert first["classify"].park.kind == "recv"
+        for name in ("egress0", "egress1"):
+            record = first[name]
+            assert record.park.kind == "mem"
+            assert len(record.requests) == 1  # the frozen guarded read
+
+        sim.run(210)  # across the arrival at 200, back to quiescence
+        second = dict(kernel._parked)
+        assert set(second) == set(first)
+        for name, record in second.items():
+            # the packet un-parked every executor; each re-park is a
+            # rebuilt record, not the pre-arrival one resubmitted
+            assert record is not first[name]
+
+        reference = make_traffic_sim("reference")
+        reference.run(360)
+        assert sim.tx["eth_out"].count == reference.tx["eth_out"].count == 2

@@ -199,3 +199,52 @@ class TestCliPredict:
             main(["predict", "/nonexistent/file.hic"])
         assert excinfo.value.code == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestKernelOption:
+    """``--kernel`` is an explicit-choices option on every subcommand:
+    an unknown backend dies in argparse with exit code 2 and the real
+    choice list, never deep inside a run."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["{source}", "--simulate", "10", "--kernel", "bogus"],
+            ["faults", "--runs", "1", "--kernel", "bogus"],
+            ["profile", "{source}", "--kernel", "bogus"],
+            ["predict", "{source}", "--validate", "--kernel", "bogus"],
+        ],
+        ids=["run", "faults", "profile", "predict"],
+    )
+    def test_unknown_kernel_exits_2(self, figure1_file, argv, capsys):
+        argv = [a.format(source=figure1_file) for a in argv]
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "compiled" in err  # the choice list names every backend
+
+    def test_run_accepts_compiled_kernel(self, figure1_file, capsys):
+        assert main(
+            [figure1_file, "--simulate", "40", "--kernel", "compiled"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "simulated 40 cycles" in out
+        assert "kernel: compiled" in out
+
+    def test_compiled_kernel_report_counts_paths(self, figure1_file, capsys):
+        # telemetry output attaches an observer, so the compiled kernel
+        # must report interpreted cycles rather than pretending
+        assert main(
+            [
+                figure1_file,
+                "--simulate",
+                "25",
+                "--kernel",
+                "compiled",
+                "--trace-level",
+                "deps",
+            ]
+        ) == 0
+        assert "kernel: compiled" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Regression net for the default simulation kernel.
+
+Before ``DEFAULT_KERNEL`` existed the default lived as a loose
+``"wheel"`` string in five places (the flow API and four CLI parsers),
+and they had already drifted once.  These tests pin every surface to
+the single shared constant, and pin the registry so a renamed or
+dropped backend fails here rather than deep inside a campaign.
+"""
+
+import inspect
+
+from repro.flow import DEFAULT_KERNEL, SIMULATION_KERNELS, build_simulation
+
+
+class TestSharedConstant:
+    def test_default_kernel_is_wheel(self):
+        assert DEFAULT_KERNEL == "wheel"
+
+    def test_default_kernel_is_registered(self):
+        assert DEFAULT_KERNEL in SIMULATION_KERNELS
+
+    def test_registry_lists_all_backends(self):
+        assert SIMULATION_KERNELS == ("reference", "wheel", "compiled")
+
+
+class TestApiDefaults:
+    def test_build_simulation_defaults_to_shared_constant(self):
+        signature = inspect.signature(build_simulation)
+        assert signature.parameters["kernel"].default is DEFAULT_KERNEL
+
+    def test_validate_resolves_none_to_shared_constant(self):
+        # model.validate cannot import the flow at module scope (the
+        # flow imports it back), so its ``kernel=None`` sentinel must
+        # resolve to DEFAULT_KERNEL at call time.
+        from repro.model.validate import simulate_config, validate
+
+        for fn in (simulate_config, validate):
+            assert inspect.signature(fn).parameters["kernel"].default is None
+
+
+class TestCliDefaults:
+    def _default_of(self, parser):
+        for action in parser._actions:
+            if "--kernel" in action.option_strings:
+                return action
+        raise AssertionError("parser has no --kernel option")
+
+    def test_run_cli(self):
+        from repro.__main__ import _parser
+
+        action = self._default_of(_parser())
+        assert action.default is DEFAULT_KERNEL
+        assert tuple(action.choices) == SIMULATION_KERNELS
+
+    def test_profile_cli(self):
+        from repro.obs.profile_cli import _profile_parser
+
+        action = self._default_of(_profile_parser())
+        assert action.default is DEFAULT_KERNEL
+        assert tuple(action.choices) == SIMULATION_KERNELS
+
+    def test_predict_cli(self):
+        from repro.model.cli import _predict_parser
+
+        action = self._default_of(_predict_parser())
+        assert action.default is DEFAULT_KERNEL
+        assert tuple(action.choices) == SIMULATION_KERNELS
+
+    def test_faults_cli(self):
+        from repro.faults.campaign import _faults_parser
+
+        action = self._default_of(_faults_parser())
+        # None = "resolve to the flow default at run time" (the campaign
+        # deliberately keeps the kernel out of its fingerprinted config)
+        assert action.default is None
+        assert tuple(action.choices) == SIMULATION_KERNELS
+
+
+class TestDefaultKernelBehaviour:
+    def test_default_build_uses_wheel_kernel(self):
+        from repro.net import forwarding_source
+        from repro.flow import compile_design
+        from repro.sim.wheel import FastKernel
+
+        sim = build_simulation(compile_design(forwarding_source(2)))
+        assert isinstance(sim.kernel, FastKernel)
