@@ -137,8 +137,8 @@ def test_campaign_parallel_speedup(benchmark):
     except (OSError, ValueError):
         payload = {}
     # Keep in lockstep with bench_sim_performance.BENCH_SCHEMA: /4 added
-    # the analytical-model predict section.
-    payload["schema"] = "repro.bench.sim/4"
+    # the analytical-model predict section, /6 the scenarios section.
+    payload["schema"] = "repro.bench.sim/6"
     payload["campaign"] = {
         "workload": (
             f"chaos campaign: {RUNS} cpu-bound runs "

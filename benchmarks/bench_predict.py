@@ -216,8 +216,8 @@ def _update_bench_json(**fields) -> None:
     except (OSError, ValueError):
         payload = {}
     # Keep in lockstep with bench_sim_performance.BENCH_SCHEMA: /4 added
-    # this predict section.
-    payload["schema"] = "repro.bench.sim/4"
+    # this predict section, /6 the scenarios section.
+    payload["schema"] = "repro.bench.sim/6"
     section = payload.setdefault("predict", {})
     section.setdefault(
         "workload",

@@ -70,8 +70,9 @@ BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 #: ``bench_predict.py`` (see docs/performance_model.md); /5 added the
 #: compiled-kernel dense-workload numbers (``kernels.compiled_*``,
 #: including the codegen-vs-cached build-time split; see
-#: docs/simulation_kernels.md).
-BENCH_SCHEMA = "repro.bench.sim/5"
+#: docs/simulation_kernels.md); /6 added the per-scenario ``scenarios``
+#: section written by ``bench_scenarios.py`` (see docs/scenarios.md).
+BENCH_SCHEMA = "repro.bench.sim/6"
 
 #: The committed baseline, captured at import time — the tests below
 #: rewrite ``BENCH_sim.json``, so read it before any of them run.

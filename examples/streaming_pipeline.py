@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Streaming process networks and channel-aware synthesis.
+
+The paper's guarded-BRAM organizations (§3.1/§3.2) synchronize every
+produced variable through CAM-matched dependency entries.  For streaming
+process networks, most channels are simpler than that: one producer, one
+consumer, strictly in program order.  The channel classifier proves that
+shape statically and lowers such channels to plain FIFOs, keeping the
+guarded machinery only where broadcasts or address reuse demand it.
+
+This example builds the fan-out scenario — a splitter feeding three
+parallel workers a private stream each (FIFO-lowerable) plus one
+broadcast mode word to all of them (guarded) — and walks the per-channel
+report: classification with the deciding rule, synchronization-area
+delta, and end-to-end progress in both synthesis modes.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from repro.scenarios import (
+    build_scenario_simulation,
+    get_scenario,
+    scenario_report,
+)
+from repro.scenarios.report import render_report
+
+scenario = get_scenario("fanout")
+print(f"scenario {scenario.name!r}: {scenario.title}")
+print(scenario.description)
+print()
+
+# -- 1. classification: the mixed case -------------------------------------------------
+
+design, sim = build_scenario_simulation(scenario, channel_synthesis="fifo")
+print("channel classification:")
+for decision in design.channel_decisions.values():
+    print(
+        f"  {decision.dep_id}: {decision.channel_class.value.upper():7s} "
+        f"{decision.producer_thread}.{decision.producer_var} -> "
+        f"{','.join(decision.consumer_threads)}  ({decision.reason})"
+    )
+fifo = [d for d in design.channel_decisions.values() if d.is_fifo]
+guarded = [d for d in design.channel_decisions.values() if not d.is_fifo]
+assert len(fifo) == 3, "the three worker streams must lower to FIFOs"
+assert len(guarded) == 1, "the broadcast mode word must stay guarded"
+print()
+
+# -- 2. the lowered design runs, in order ----------------------------------------------
+
+sim.run(400)
+print("after 400 cycles (fifo synthesis):")
+for name in sorted(design.fifo_deps):
+    controller = sim.controllers[name]
+    assert controller.in_order(), "FIFO channels must deliver in order"
+    print(f"  {controller.describe()}")
+for sink in scenario.sink_threads:
+    rounds = sim.executors[sink].stats.rounds_completed
+    print(f"  worker {sink}: {rounds} rounds completed")
+print()
+
+# -- 3. the per-channel report: area and progress vs all-guarded -----------------------
+
+report = scenario_report(scenario.name, cycles=400)
+print(render_report(report))
+assert report["progress"]["delta_rounds"] > 0, (
+    "decoupling the worker streams must buy throughput"
+)
+print()
+
+# The area story depends on the shape.  Here the broadcast keeps the
+# guarded wrapper alive, so the three added FIFOs cost net slices (the
+# report above says so, honestly).  On the pure pipeline the guarded
+# BRAM disappears entirely and the lowering *saves* area:
+
+pipeline = scenario_report("pipeline", cycles=400)
+print(render_report(pipeline))
+assert pipeline["area"]["delta_slices"] > 0, (
+    "FIFO lowering must save synchronization area on the pure pipeline"
+)
+print()
+print(
+    f"fan-out: +{report['progress']['delta_rounds']} rounds for "
+    f"{-report['area']['delta_slices']} extra slices; pipeline: "
+    f"{pipeline['area']['delta_slices']} slices saved and "
+    f"{pipeline['progress']['delta_rounds']:+d} rounds."
+)

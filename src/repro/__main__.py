@@ -12,6 +12,8 @@ Examples::
     python -m repro profile design.hic --flame f.svg  # cycle attribution
     python -m repro predict design.hic --rate 0.9   # analytical model
     python -m repro predict --validate              # model vs simulator
+    python -m repro run --scenario pipeline         # streaming scenario
+    python -m repro scenarios --json report.json    # channel-class report
 """
 
 from __future__ import annotations
@@ -234,6 +236,17 @@ def main(argv: list[str] | None = None) -> int:
         from .model.cli import predict_main
 
         return predict_main(argv[1:])
+    if argv and argv[0] == "run":
+        # Sub-tool: run a catalogued streaming scenario
+        # (see docs/scenarios.md).
+        from .scenarios.cli import run_main
+
+        return run_main(argv[1:])
+    if argv and argv[0] == "scenarios":
+        # Sub-tool: per-channel classification + area/progress report.
+        from .scenarios.cli import scenarios_main
+
+        return scenarios_main(argv[1:])
     args = _parser().parse_args(argv)
     try:
         with open(args.source) as handle:

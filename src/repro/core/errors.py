@@ -122,6 +122,17 @@ class GuardViolationError(ControllerError):
     kind = "guard-violation"
 
 
+class ChannelProtocolError(ControllerError, ValueError):
+    """An access violated a FIFO channel's proven shape — a write from a
+    thread other than the classified producer, a read from a thread other
+    than the classified consumer, or an untagged access.  This is the
+    runtime assertion harness behind the channel classifier
+    (:mod:`repro.analysis.channels`): the static single-writer in-order
+    proof is re-checked at every access."""
+
+    kind = "channel-protocol"
+
+
 class WatchdogTimeout(ControllerError):
     """A guarded request stayed blocked past the watchdog threshold."""
 

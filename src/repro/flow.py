@@ -24,6 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from .analysis.channels import (
+    ChannelDecision,
+    classify_channels,
+    fifo_channel_name,
+    fifo_lowered_variables,
+)
 from .analysis.deadlock import assert_deadlock_free
 from .analysis.depgraph import DependencyGraph
 from .analysis.memgraph import build_memory_graphs
@@ -58,6 +64,7 @@ from .memory.allocation import (
 )
 from .memory.bram import BlockRam
 from .memory.deplist import DependencyList
+from .memory.fifo import DEFAULT_FIFO_DEPTH, FifoChannelController
 from .memory.offchip import OffchipController, OffchipMemory
 from .rtl.generate import (
     DEFAULT_DEPLIST_ENTRIES,
@@ -66,6 +73,7 @@ from .rtl.generate import (
     generate_crossbar,
     generate_design,
     generate_event_driven_wrapper,
+    generate_fifo_channel,
     generate_lock_baseline,
     generate_thread_module,
 )
@@ -104,6 +112,13 @@ class CompiledDesign:
     #: fabric-mode artifacts (None for the single-address-space flow)
     fabric: Optional[FabricPlan] = None
     crossbar_module: Optional[Module] = None
+    #: channel-synthesis artifacts ("guarded" keeps every dependency on
+    #: the §3.1/§3.2 machinery; "fifo" lowers proven streams — see
+    #: docs/scenarios.md)
+    channel_synthesis: str = "guarded"
+    channel_decisions: dict[str, ChannelDecision] = field(default_factory=dict)
+    #: FIFO-lowered channels: storage name -> the dependency it carries
+    fifo_deps: dict[str, Dependency] = field(default_factory=dict)
 
     # -- reports -------------------------------------------------------------------
 
@@ -142,7 +157,9 @@ class CompiledDesign:
 
         return emit_thread_verilog(
             self.fsms[thread_name],
-            banks=self.memory_map.bram_names + self.memory_map.offchip_names,
+            banks=self.memory_map.bram_names
+            + self.memory_map.offchip_names
+            + self.memory_map.fifo_names,
             constants=self.checked.constants,
         )
 
@@ -191,6 +208,7 @@ def compile_design(
     link_latency: int = 1,
     batch_size: int = 1,
     dep_home: str = "address",
+    channel_synthesis: str = "guarded",
 ) -> CompiledDesign:
     """Run the full front-end + synthesis + generation flow.
 
@@ -207,12 +225,34 @@ def compile_design(
     simulation runs through a :class:`repro.fabric.MemoryFabric`.
     ``dep_home="spread"`` distributes dependency entries round-robin over
     banks, exercising the cross-bank dependency router.
+
+    ``channel_synthesis="fifo"`` runs the channel classifier
+    (:mod:`repro.analysis.channels`) and lowers every dependency proven a
+    single-writer in-order stream to a plain FIFO channel; everything
+    else falls back to the guarded-BRAM machinery.  The default
+    ``"guarded"`` keeps the paper's organizations for every dependency.
     """
     if num_banks > 0 and force_single_bram:
         raise ValueError("force_single_bram is incompatible with a fabric")
+    if channel_synthesis not in ("guarded", "fifo"):
+        raise ValueError(
+            f"unknown channel_synthesis {channel_synthesis!r} "
+            "(expected 'guarded' or 'fifo')"
+        )
+    if channel_synthesis == "fifo" and num_banks > 0:
+        raise ValueError(
+            "channel_synthesis='fifo' is incompatible with a sharded "
+            "fabric (FIFO channels bypass the crossbar)"
+        )
     checked = analyze(source, infer_pragmas=infer_pragmas)
     if check_deadlock:
         assert_deadlock_free(checked)
+
+    channel_decisions: dict[str, ChannelDecision] = {}
+    fifo_channels: dict[tuple[str, str], str] = {}
+    if channel_synthesis == "fifo":
+        channel_decisions = classify_channels(checked)
+        fifo_channels = fifo_lowered_variables(channel_decisions)
 
     # The §2 mapping inputs: the memory access graph guides affinity-aware
     # BRAM packing (co-locate variables the same threads touch).
@@ -224,6 +264,7 @@ def compile_design(
         allow_offchip=allow_offchip,
         fabric_banks=num_banks,
         fabric_policy=shard_policy,
+        fifo_channels=fifo_channels or None,
     )
 
     fabric_plan: Optional[FabricPlan] = None
@@ -242,7 +283,15 @@ def compile_design(
         dep_groups = dict(fabric_plan.native_dep_groups)
         deplists = dict(fabric_plan.bank_deplists)
     else:
-        dep_groups = dependencies_per_bram(memory_map, checked.dependencies)
+        # FIFO-lowered dependencies live on their own channel storage and
+        # never enter a guarded dependency list.
+        fifo_dep_ids = set(fifo_channels.values())
+        guarded_deps = [
+            dep
+            for dep in checked.dependencies
+            if dep.dep_id not in fifo_dep_ids
+        ]
+        dep_groups = dependencies_per_bram(memory_map, guarded_deps)
         deplists = {
             bram: DependencyList.build(bram, deps, memory_map)
             for bram, deps in dep_groups.items()
@@ -273,6 +322,16 @@ def compile_design(
             )
         else:
             wrapper_modules[bram] = generate_lock_baseline(params, suffix)
+
+    deps_by_id = {dep.dep_id: dep for dep in checked.dependencies}
+    fifo_deps = {
+        fifo_channel_name(dep_id): deps_by_id[dep_id]
+        for dep_id in sorted(fifo_channels.values())
+    }
+    for fifo_name, dep in fifo_deps.items():
+        wrapper_modules[fifo_name] = generate_fifo_channel(
+            dep.dep_id, depth=DEFAULT_FIFO_DEPTH
+        )
 
     crossbar_module: Optional[Module] = None
     if fabric_plan is not None:
@@ -308,6 +367,9 @@ def compile_design(
         top=top,
         fabric=fabric_plan,
         crossbar_module=crossbar_module,
+        channel_synthesis=channel_synthesis,
+        channel_decisions=channel_decisions,
+        fifo_deps=fifo_deps,
     )
 
 
@@ -423,6 +485,11 @@ def build_simulation(
 
     for bank in design.memory_map.offchip_names:
         controllers[bank] = OffchipController(OffchipMemory(bank))
+
+    for fifo_name in design.memory_map.fifo_names:
+        controllers[fifo_name] = FifoChannelController(
+            BlockRam(fifo_name), design.fifo_deps[fifo_name]
+        )
 
     return _finish_simulation(design, controllers, functions, kernel)
 

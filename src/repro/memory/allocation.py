@@ -80,6 +80,14 @@ class MemoryMap:
     #: off-chip banks used (empty unless something spilled)
     offchip_names: list[str] = field(default_factory=list)
     offchip_fill: dict[str, int] = field(default_factory=dict)
+    #: FIFO-lowered channel storages (``fifo_<dep_id>``), one per channel
+    #: classified FIFO by :mod:`repro.analysis.channels`.  Deliberately
+    #: *not* part of ``bram_names``: channels are not packed address
+    #: spaces — each holds exactly its channel's ring buffer.
+    fifo_names: list[str] = field(default_factory=list)
+    #: words of value storage per FIFO channel (the ring depth is a
+    #: controller/RTL parameter, not an allocation property)
+    fifo_fill: dict[str, int] = field(default_factory=dict)
     #: >0 when the map targets a sharded fabric: addresses are *logical*
     #: (one space of ``fabric_banks * WORDS_PER_BRAM`` words) and the
     #: sharding policy decides which physical bank serves each word
@@ -171,6 +179,7 @@ def allocate(
     allow_offchip: bool = False,
     fabric_banks: int = 0,
     fabric_policy: str = "interleaved",
+    fifo_channels: dict[tuple[str, str], str] | None = None,
 ) -> MemoryMap:
     """Allocate every storage-owning variable of a checked program.
 
@@ -196,6 +205,12 @@ def allocate(
             sequential cursor; ``"range"`` (bank ``addr // 512``) places
             each thread's affinity group in a preferred bank, balanced by
             weighted access counts from the access graph.
+        fifo_channels: ``(producer_thread, producer_var) -> dep_id`` for
+            dependencies the channel classifier lowered to plain FIFOs.
+            Each such variable is homed in its own channel storage
+            (``fifo_<dep_id>``, base address 0) instead of being packed
+            into a guarded BRAM — the FSM's guarded ops then target the
+            FIFO controller with no synthesis changes.
     """
     # Only produced variables must live in BRAM: they are the guarded
     # addresses.  Consumer-side targets are ordinary thread-local state.
@@ -225,6 +240,33 @@ def allocate(
             )
         else:
             bram_items.append((key, bits, words))
+
+    if fifo_channels:
+        if fabric_banks > 0:
+            raise ValueError(
+                "FIFO channel lowering is incompatible with a sharded "
+                "fabric (use channel_synthesis='guarded' with num_banks)"
+            )
+        remaining: list[tuple[tuple[str, str], int, int]] = []
+        for key, bits, words in bram_items:
+            dep_id = fifo_channels.get(key)
+            if dep_id is None:
+                remaining.append((key, bits, words))
+                continue
+            name = f"fifo_{dep_id}"
+            memory_map.placements[key] = Placement(
+                thread=key[0],
+                variable=key[1],
+                residency=Residency.BRAM,
+                bram=name,
+                base_address=0,
+                words=words,
+                bits=bits,
+            )
+            memory_map.fifo_names.append(name)
+            memory_map.fifo_fill[name] = words
+        bram_items = remaining
+        memory_map.fifo_names.sort()
 
     if fabric_banks > 0:
         if allow_offchip:

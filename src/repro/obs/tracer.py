@@ -153,6 +153,16 @@ class Telemetry:
                     )
                     self.spans.mark_counter_backed(bram, entry.dep_id)
                 continue
+            channel_dep = getattr(controller, "channel_dependency", None)
+            if channel_dep is not None:
+                # FIFO-lowered channel: spans are counter-backed by the
+                # channel occupancy (drained == empty), one expected read
+                # per produced value.
+                self.spans.expected[(bram, channel_dep.dep_id)] = (
+                    channel_dep.dependency_number
+                )
+                self.spans.mark_counter_backed(bram, channel_dep.dep_id)
+                continue
             schedule = getattr(controller, "schedule", None)
             if schedule is not None:
                 counts: dict[str, int] = {}

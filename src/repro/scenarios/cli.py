@@ -1,0 +1,245 @@
+"""``python -m repro run`` and ``python -m repro scenarios`` sub-tools.
+
+``run`` executes one catalogued scenario on a chosen kernel and channel
+synthesis mode, with the same telemetry outputs as the main driver.
+``scenarios`` compiles every scenario both ways and prints the
+per-channel classification report with area/progress deltas
+(``--json`` writes the versioned report document for CI artifacts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..core.advisor import Organization
+from ..core.errors import ParameterError, SimulationTimeout
+from ..hic.errors import HicError
+from .catalog import SCENARIO_NAMES, get_scenario
+from .report import (
+    CHANNEL_SYNTHESIS_MODES,
+    REPORT_SCHEMA,
+    render_report,
+    scenario_report,
+)
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    from ..flow import DEFAULT_KERNEL, SIMULATION_KERNELS
+    from ..obs.tracer import TRACE_LEVELS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description=(
+            "Run one streaming process-network scenario "
+            "(see docs/scenarios.md)."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        required=True,
+        choices=list(SCENARIO_NAMES),
+        help="catalogued scenario to build and run",
+    )
+    parser.add_argument(
+        "--channel-synthesis",
+        choices=list(CHANNEL_SYNTHESIS_MODES),
+        default="fifo",
+        help=(
+            "'fifo' lowers proven single-writer in-order channels to "
+            "plain FIFOs; 'guarded' keeps every dependency on the "
+            "paper's machinery (default: fifo)"
+        ),
+    )
+    parser.add_argument(
+        "--organization",
+        choices=[org.value for org in Organization],
+        default=Organization.ARBITRATED.value,
+        help="memory organization for guarded channels (default: arbitrated)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=list(SIMULATION_KERNELS),
+        default=DEFAULT_KERNEL,
+        help=f"simulation backend (default: {DEFAULT_KERNEL})",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=500,
+        help="clock cycles to simulate (default: 500)",
+    )
+    parser.add_argument(
+        "--trace-level",
+        choices=list(TRACE_LEVELS),
+        default="deps",
+        help="telemetry event granularity (default: deps)",
+    )
+    parser.add_argument(
+        "--summary-json",
+        metavar="FILE",
+        help="write a JSON telemetry summary of the run to FILE",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write Prometheus text-format metrics of the run to FILE",
+    )
+    return parser
+
+
+def run_main(argv: list[str]) -> int:
+    from .catalog import build_scenario_simulation
+
+    args = _run_parser().parse_args(argv)
+    if args.cycles <= 0:
+        error = ParameterError(
+            "cycle budget must be positive",
+            parameter="cycles",
+            value=args.cycles,
+        )
+        print(f"error: {error.describe()}", file=sys.stderr)
+        return 2
+
+    scenario = get_scenario(args.scenario)
+    try:
+        design, sim = build_scenario_simulation(
+            scenario,
+            channel_synthesis=args.channel_synthesis,
+            kernel=args.kernel,
+            organization=Organization(args.organization),
+        )
+    except (HicError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    telemetry = sim.attach_telemetry(trace_level=args.trace_level)
+    try:
+        result = sim.run(args.cycles)
+    except SimulationTimeout as error:
+        print(f"error: {error.describe()}", file=sys.stderr)
+        return 1
+
+    fifo_channels = sorted(design.fifo_deps)
+    guarded = [
+        d.dep_id
+        for d in design.channel_decisions.values()
+        if not d.is_fifo
+    ]
+    print(
+        f"scenario {scenario.name!r} ({scenario.title}): "
+        f"{len(design.fsms)} threads, "
+        f"{len(design.checked.dependencies)} dependencies, "
+        f"channel synthesis {design.channel_synthesis!r}"
+    )
+    if design.channel_synthesis == "fifo":
+        print(
+            f"channels: {len(fifo_channels)} fifo "
+            f"({', '.join(fifo_channels) or '-'}), "
+            f"{len(guarded)} guarded ({', '.join(sorted(guarded)) or '-'})"
+        )
+    print(result.describe())
+    for name in scenario.sink_threads:
+        rounds = sim.executors[name].stats.rounds_completed
+        print(f"  sink {name}: {rounds} rounds completed")
+
+    from ..obs.exporters import (
+        write_chrome_trace,
+        write_prometheus,
+        write_summary_json,
+    )
+
+    if args.summary_json:
+        write_summary_json(telemetry, args.summary_json)
+        print(f"wrote telemetry summary to {args.summary_json}")
+    if args.trace_json:
+        write_chrome_trace(telemetry, args.trace_json)
+        print(f"wrote Chrome trace to {args.trace_json}")
+    if args.metrics:
+        write_prometheus(telemetry, args.metrics)
+        print(f"wrote Prometheus metrics to {args.metrics}")
+    return 0
+
+
+def _scenarios_parser() -> argparse.ArgumentParser:
+    from ..flow import DEFAULT_KERNEL, SIMULATION_KERNELS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenarios",
+        description=(
+            "Per-channel classification report with area/progress deltas "
+            "of FIFO vs all-guarded synthesis (see docs/scenarios.md)."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=list(SCENARIO_NAMES),
+        default=None,
+        help="report one scenario only (default: all)",
+    )
+    parser.add_argument(
+        "--organization",
+        choices=[org.value for org in Organization],
+        default=Organization.ARBITRATED.value,
+        help="memory organization for guarded channels (default: arbitrated)",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=list(SIMULATION_KERNELS),
+        default=DEFAULT_KERNEL,
+        help=f"simulation backend (default: {DEFAULT_KERNEL})",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=500,
+        help="simulated cycles per progress measurement (default: 500)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the versioned report document to FILE",
+    )
+    return parser
+
+
+def scenarios_main(argv: list[str]) -> int:
+    args = _scenarios_parser().parse_args(argv)
+    if args.cycles <= 0:
+        error = ParameterError(
+            "cycle budget must be positive",
+            parameter="cycles",
+            value=args.cycles,
+        )
+        print(f"error: {error.describe()}", file=sys.stderr)
+        return 2
+
+    names = [args.scenario] if args.scenario else list(SCENARIO_NAMES)
+    reports = []
+    try:
+        for name in names:
+            report = scenario_report(
+                name,
+                organization=Organization(args.organization),
+                cycles=args.cycles,
+                kernel=args.kernel,
+            )
+            reports.append(report)
+            print(render_report(report))
+    except (HicError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        document = {"schema": REPORT_SCHEMA, "reports": reports}
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote scenario report to {args.json}")
+    return 0

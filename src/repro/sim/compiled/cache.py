@@ -84,6 +84,7 @@ def design_fingerprint(design) -> str:
         f"fabric {design.fabric is not None}",
         f"brams {sorted(design.memory_map.bram_names)}",
         f"offchip {sorted(design.memory_map.offchip_names)}",
+        f"fifo {sorted(design.memory_map.fifo_names)}",
         f"interfaces {sorted(design.checked.interfaces)}",
     ]
     message_vars: set[tuple[str, str]] = set()

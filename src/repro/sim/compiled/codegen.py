@@ -52,7 +52,7 @@ from .exprgen import ExprCompiler, UnsupportedExpression
 #: Bump whenever the generated code's shape or semantics change: the
 #: version participates in the design fingerprint, so stale in-process
 #: cache entries can never serve a new codegen scheme.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 #: Geometry the inline arbitrated path is specialized for (the flow
 #: always builds ``BlockRam(name)`` with these defaults; ``bind``
@@ -135,6 +135,7 @@ class _Codegen:
             self.ctrl_names = sorted(
                 list(design.memory_map.bram_names)
                 + list(design.memory_map.offchip_names)
+                + list(design.memory_map.fifo_names)
             )
         self.ctrl_index = {name: j for j, name in enumerate(self.ctrl_names)}
         self.inline = {

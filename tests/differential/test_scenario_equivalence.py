@@ -1,0 +1,143 @@
+"""Differential matrix over the streaming scenario catalogue.
+
+Every catalogued scenario (docs/scenarios.md) must behave identically on
+all three simulation kernels, under both channel-synthesis modes: same
+architectural state, byte-identical telemetry summaries.  This is the
+soak proof behind the FIFO channel lowering — the
+:class:`~repro.memory.fifo.FifoChannelController` participates in the
+same ``next_wake`` / quiescence contract as the guarded organizations,
+so the wheel and compiled kernels must not diverge by a single cycle.
+
+The pipeline scenario's telemetry is additionally frozen as golden
+fixtures (``fixtures/scenario_pipeline_{trace,summary}.json``),
+mirroring the Figure-1 goldens.  To regenerate after an *intentional*
+telemetry change::
+
+    PYTHONPATH=src python tests/differential/test_scenario_equivalence.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.exporters import dumps_chrome_trace, dumps_summary
+from repro.scenarios import SCENARIO_NAMES, build_scenario_simulation, get_scenario
+
+try:
+    from .conftest import KERNELS, assert_equivalent
+except ImportError:  # running as a script for fixture regeneration
+    KERNELS = ("reference", "wheel", "compiled")
+    assert_equivalent = None
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CYCLES = 300
+
+MODES = ("guarded", "fifo")
+
+
+def run_matrix_cell(name, channel_synthesis):
+    scenario = get_scenario(name)
+    sims, summaries = [], []
+    for kernel in KERNELS:
+        __, sim = build_scenario_simulation(
+            scenario, channel_synthesis=channel_synthesis, kernel=kernel
+        )
+        telemetry = sim.attach_telemetry(trace_level="deps")
+        sim.run(CYCLES)
+        sims.append(sim)
+        summaries.append(dumps_summary(telemetry))
+    return sims, summaries
+
+
+@pytest.mark.parametrize("channel_synthesis", MODES)
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_scenario_kernels_equivalent(name, channel_synthesis):
+    sims, summaries = run_matrix_cell(name, channel_synthesis)
+    assert_equivalent(*sims)
+    assert summaries[0] == summaries[1] == summaries[2]
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_scenario_makes_progress(name):
+    """Free-running scenarios are live: every sink thread completes
+    rounds in either synthesis mode (no accidental deadlock from the
+    channel lowering)."""
+    scenario = get_scenario(name)
+    for mode in MODES:
+        __, sim = build_scenario_simulation(scenario, channel_synthesis=mode)
+        sim.run(CYCLES)
+        for sink in scenario.sink_threads:
+            assert sim.executors[sink].stats.rounds_completed > 0, (
+                name,
+                mode,
+                sink,
+            )
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_scenario_classification_matches_catalogue(name):
+    """The classifier reproduces the catalogue's expected channel
+    classes — the per-scenario ground truth of docs/scenarios.md."""
+    scenario = get_scenario(name)
+    design, __ = build_scenario_simulation(scenario, channel_synthesis="fifo")
+    fifo = sorted(
+        d.dep_id for d in design.channel_decisions.values() if d.is_fifo
+    )
+    guarded = sorted(
+        d.dep_id for d in design.channel_decisions.values() if not d.is_fifo
+    )
+    assert fifo == sorted(scenario.expected_fifo)
+    assert guarded == sorted(scenario.expected_guarded)
+
+
+# -- pipeline goldens (mirroring the Figure-1 fixtures) --------------------------------
+
+
+def traced_pipeline_run(kernel):
+    scenario = get_scenario("pipeline")
+    __, sim = build_scenario_simulation(
+        scenario, channel_synthesis="fifo", kernel=kernel
+    )
+    telemetry = sim.attach_telemetry(trace_level="deps")
+    sim.run(CYCLES)
+    return sim, telemetry
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_pipeline_trace_matches_golden(kernel):
+    __, telemetry = traced_pipeline_run(kernel)
+    golden = (FIXTURES / "scenario_pipeline_trace.json").read_text()
+    assert dumps_chrome_trace(telemetry) == golden
+
+
+@pytest.mark.parametrize("kernel", list(KERNELS))
+def test_pipeline_summary_matches_golden(kernel):
+    __, telemetry = traced_pipeline_run(kernel)
+    golden = (FIXTURES / "scenario_pipeline_summary.json").read_text()
+    assert dumps_summary(telemetry) == golden
+
+
+def test_pipeline_is_never_skippable():
+    """Honesty check: the FIFO pipeline runs hot — some channel endpoint
+    is always grantable (the source free-runs and every channel drains),
+    so the wheel kernel must execute every cycle rather than skipping.
+    That conservatism is what makes the byte-identical goldens above
+    possible."""
+    sim, __ = traced_pipeline_run("wheel")
+    assert sim.kernel.cycles_skipped == 0
+    assert sim.kernel.cycles_executed == CYCLES
+
+
+def _regenerate():
+    __, telemetry = traced_pipeline_run("reference")
+    (FIXTURES / "scenario_pipeline_trace.json").write_text(
+        dumps_chrome_trace(telemetry)
+    )
+    (FIXTURES / "scenario_pipeline_summary.json").write_text(
+        dumps_summary(telemetry)
+    )
+    print(f"regenerated fixtures in {FIXTURES}")
+
+
+if __name__ == "__main__":
+    _regenerate()

@@ -248,3 +248,94 @@ class TestKernelOption:
             ]
         ) == 0
         assert "kernel: compiled" in capsys.readouterr().out
+
+
+class TestScenarioOption:
+    """``python -m repro run`` / ``scenarios``: `--scenario` and
+    `--channel-synthesis` are explicit-choices options — an unknown
+    value dies in argparse with exit code 2 and the real choice list,
+    matching the ``--kernel`` hardening above."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--scenario", "bogus"],
+            ["scenarios", "--scenario", "bogus"],
+        ],
+        ids=["run", "scenarios"],
+    )
+    def test_unknown_scenario_exits_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "pipeline" in err  # the choice list names every scenario
+
+    def test_unknown_channel_synthesis_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scenario", "pipeline",
+                  "--channel-synthesis", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "guarded" in err and "fifo" in err
+
+    def test_unknown_kernel_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scenario", "pipeline", "--kernel", "bogus"])
+        assert excinfo.value.code == 2
+        assert "invalid choice: 'bogus'" in capsys.readouterr().err
+
+    def test_missing_scenario_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run"])
+        assert excinfo.value.code == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("cycles", ["0", "-5"])
+    def test_nonpositive_cycles_is_structured_parameter_error(
+        self, cycles, capsys
+    ):
+        assert main(["run", "--scenario", "pipeline",
+                     "--cycles", cycles]) == 2
+        err = capsys.readouterr().err
+        assert "parameter-error" in err
+        assert "cycles" in err
+
+    def test_run_pipeline_reports_fifo_channels(self, capsys):
+        assert main(["run", "--scenario", "pipeline",
+                     "--cycles", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "3 fifo" in out
+        assert "fifo_ch0" in out
+        assert "rounds completed" in out
+
+    def test_run_forced_guarded(self, capsys):
+        assert main(["run", "--scenario", "pipeline", "--cycles", "200",
+                     "--channel-synthesis", "guarded"]) == 0
+        out = capsys.readouterr().out
+        assert "channel synthesis 'guarded'" in out
+
+    def test_run_compiled_kernel_writes_summary(self, tmp_path, capsys):
+        target = tmp_path / "summary.json"
+        assert main(["run", "--scenario", "fanout", "--cycles", "200",
+                     "--kernel", "compiled",
+                     "--summary-json", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == "repro.obs.summary/1"
+
+    def test_scenarios_report_pipeline(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main(["scenarios", "--scenario", "pipeline",
+                     "--cycles", "200", "--json", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "FIFO" in out
+        assert "sync area" in out
+        document = json.loads(target.read_text())
+        assert document["schema"] == "repro.scenarios.report/1"
+        (report,) = document["reports"]
+        assert report["scenario"] == "pipeline"
+        # The acceptance claim: FIFO lowering saves synchronization area.
+        assert report["area"]["delta_slices"] > 0
+        assert all(c["class"] == "fifo" for c in report["channels"])

@@ -34,6 +34,7 @@ def test_expected_examples_present():
         "packet_filter",
         "offchip_routing_table",
         "telemetry_tour",
+        "streaming_pipeline",
     } <= names
 
 

@@ -39,6 +39,7 @@ class TestReadme:
         from repro.faults.campaign import _faults_parser
         from repro.model.cli import _predict_parser
         from repro.obs.profile_cli import _profile_parser
+        from repro.scenarios.cli import _run_parser, _scenarios_parser
 
         text = README.read_text()
         parser_flags = {
@@ -48,6 +49,8 @@ class TestReadme:
                 _faults_parser(),
                 _profile_parser(),
                 _predict_parser(),
+                _run_parser(),
+                _scenarios_parser(),
             )
             for action in parser._actions
             for option in action.option_strings
